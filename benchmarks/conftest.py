@@ -1,0 +1,31 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and stores
+the rendered result under ``benchmarks/results/`` so the numbers survive
+the run.  Experiment sizes scale with ``REPRO_SCALE`` (default 1.0; use
+4.0 or more to approach paper-length statistics, 0.25 for a smoke run).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, result) -> None:
+    """Persist an ExperimentResult's text and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(result.text + "\n", encoding="utf-8")
+    print()
+    print(result.text)
+
+
+@pytest.fixture(scope="session")
+def full_run() -> bool:
+    """True when REPRO_FULL=1: run every workload mix / mesh size."""
+    return os.environ.get("REPRO_FULL", "0") == "1"

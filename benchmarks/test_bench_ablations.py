@@ -1,0 +1,73 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* slot-table size (static): the Section II-C granularity trade-off —
+  small wheels give short waits and high per-circuit bandwidth but hold
+  few reservations; big wheels the reverse.
+* time-slot stealing (Section II-D): packet flits borrowing idle
+  reserved slots must never hurt and typically helps latency.
+* circuit-switched path sharing (Section V-B3).
+* aggressive VC power gating on packet vs hybrid networks
+  (Section V-B4: the hybrid network enables deeper gating).
+"""
+
+from repro.harness import experiments as E
+
+from benchmarks.conftest import save_result
+
+
+def test_ablation_slot_table_size(benchmark):
+    result = benchmark.pedantic(lambda: E.ablation_slot_table(),
+                                rounds=1, iterations=1)
+    save_result("ablation_slot_table", result)
+    by_size = {r[0]: r for r in result.rows}
+    # a small wheel gives a higher circuit-switched share than the
+    # biggest wheel (shorter waits pass the switching decision)
+    assert by_size[8][3] > by_size[128][3]
+
+
+def test_ablation_time_slot_stealing(benchmark):
+    result = benchmark.pedantic(lambda: E.ablation_stealing(),
+                                rounds=1, iterations=1)
+    save_result("ablation_stealing", result)
+    rows = {r[0]: r for r in result.rows}
+    # stealing must not increase latency (idle slots get reused)
+    assert rows["on"][1] <= rows["off"][1] * 1.02
+
+
+def test_ablation_path_sharing(benchmark):
+    result = benchmark.pedantic(lambda: E.ablation_sharing(),
+                                rounds=1, iterations=1)
+    save_result("ablation_sharing", result)
+    # both schemes keep GPU throughput within a few percent of baseline
+    for row in result.rows:
+        assert 0.9 < row[4] < 1.1
+
+
+def test_ablation_vc_gating(benchmark):
+    result = benchmark.pedantic(lambda: E.ablation_vc_gating(),
+                                rounds=1, iterations=1)
+    save_result("ablation_vc_gating", result)
+    rows = {r[0]: r for r in result.rows}
+    # Section V-B4: hybrid + gating saves more than packet + gating
+    assert rows["hybrid_tdm_hop_vct"][1] > rows["packet_vc4+gating"][1]
+
+
+def test_ablation_decision_policy(benchmark):
+    result = benchmark.pedantic(lambda: E.ablation_decision_policy(),
+                                rounds=1, iterations=1)
+    save_result("ablation_decision_policy", result)
+    rows = {r[0]: r for r in result.rows}
+    assert rows["never_circuit"][3] == 0.0
+    assert rows["always_circuit"][3] > rows["stall_threshold"][3] * 0.5
+    # the reasonable policies must not lose accepted throughput badly
+    assert rows["feedback"][1] > 0.8 * rows["never_circuit"][1]
+
+
+def test_ablation_gating_metric(benchmark):
+    result = benchmark.pedantic(lambda: E.ablation_gating_metric(),
+                                rounds=1, iterations=1)
+    save_result("ablation_gating_metric", result)
+    for row in result.rows:
+        assert row[1] > 0          # both metrics save energy
+        assert 0.85 < row[2] < 1.15
+        assert 0.9 < row[3] < 1.1

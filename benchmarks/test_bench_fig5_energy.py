@@ -1,0 +1,32 @@
+"""Figure 5: network energy saving as a function of injection rate.
+
+Paper reference: savings vs Packet-VC4 grow with injection for TOR/TR;
+UR savings are small and negative at low injection (large slot tables);
+Hybrid-TDM-VCt adds 2.4-10.9% (UR), 2.6-10.0% (TOR) and 4.1-9.7% (TR)
+over Hybrid-TDM-VC4, with the gap shrinking as injection rises.
+"""
+
+from repro.harness import experiments as E
+
+from benchmarks.conftest import save_result
+
+
+def test_fig5_energy_saving(benchmark):
+    result = benchmark.pedantic(lambda: E.fig5(), rounds=1, iterations=1)
+    save_result("fig5_energy_saving", result)
+
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    # UR at the lowest rate: negative saving for the basic hybrid scheme
+    ur_low = rows[("UR", 0.05)]
+    assert ur_low[2] < 2.0, "UR at low load should not save energy"
+
+    # TOR/TR at moderate rate: positive savings
+    for pat in ("TOR", "TR"):
+        assert rows[(pat, 0.25)][2] > 0
+
+    # the VCt-over-VC4 gap shrinks as injection grows (paper trend)
+    for pat in ("UR", "TOR", "TR"):
+        gap_low = rows[(pat, 0.05)][4]
+        gap_high = rows[(pat, 0.35)][4]
+        assert gap_high < gap_low

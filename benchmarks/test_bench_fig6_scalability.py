@@ -1,0 +1,35 @@
+"""Figure 6: scalability of Hybrid-TDM-VCt to larger meshes.
+
+Paper reference: from 64 (8x8) to 256 (16x16) nodes the throughput
+improvement and energy saving hold for TOR/TR, while the UR benefit is
+small and becomes negligible as the network grows (communication pairs
+grow quadratically and slot tables cannot capture them all).  Slot
+tables grow to 256 entries beyond 64 nodes.
+
+Default meshes: 6x6 and 8x8 (set REPRO_FULL=1 to add 12x12 and 16x16 —
+a 16x16 cycle-level run in pure Python takes a while).
+"""
+
+from repro.harness import experiments as E
+
+from benchmarks.conftest import save_result
+
+
+def test_fig6_scalability(benchmark, full_run):
+    sizes = (6, 8, 12, 16) if full_run else (6, 8)
+    result = benchmark.pedantic(lambda: E.fig6(sizes=sizes),
+                                rounds=1, iterations=1)
+    save_result("fig6_scalability", result)
+
+    by_key = {(r[0], r[1]): r for r in result.rows}
+    for size in sizes:
+        mesh = f"{size}x{size}"
+        # TOR and TR keep a positive throughput improvement at scale
+        for pat in ("TOR", "TR"):
+            assert by_key[(mesh, pat)][4] > 0, \
+                f"{pat} throughput gain vanished at {mesh}"
+    # the UR benefit is the smallest of the three patterns at the
+    # largest evaluated mesh (paper: negligible at scale)
+    largest = f"{sizes[-1]}x{sizes[-1]}"
+    ur_gain = by_key[(largest, "UR")][4]
+    assert ur_gain <= min(by_key[(largest, p)][4] for p in ("TOR", "TR"))

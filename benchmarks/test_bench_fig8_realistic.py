@@ -1,0 +1,37 @@
+"""Figure 8: heterogeneous CPU+GPU workload mixes.
+
+Paper reference (averages over all 56 mixes): network energy saving of
+6.3% (Hybrid-TDM-VC4), 9.0% (+path sharing) and 17.1% (+sharing+VC
+gating); CPU performance impact -1.6%; GPU performance +2.6%; STO costs
+energy under the basic scheme but saves with the optimisations.
+
+Default: 2 CPU benchmarks x all 7 GPU benchmarks (28 system runs across
+4 schemes).  Set REPRO_FULL=1 for the full 56-mix evaluation.
+"""
+
+from repro.harness import experiments as E
+
+from benchmarks.conftest import save_result
+
+
+def test_fig8_realistic_workloads(benchmark, full_run):
+    cpus = None if full_run else ("ART", "GAFORT")
+    result = benchmark.pedantic(
+        lambda: E.fig8(cpu_benchmarks=cpus), rounds=1, iterations=1)
+    save_result("fig8_realistic", result)
+
+    avg = {r[2]: r for r in result.rows if r[0] == "AVG"}
+    assert set(avg) == {"hybrid_tdm_vc4", "hybrid_tdm_hop_vc4",
+                        "hybrid_tdm_hop_vct"}
+
+    # headline shape: the fully optimised scheme saves clearly more than
+    # the basic hybrid scheme on average
+    save_vc4 = avg["hybrid_tdm_vc4"][3]
+    save_vct = avg["hybrid_tdm_hop_vct"][3]
+    assert save_vct > save_vc4
+    assert save_vct > 5.0, "optimised hybrid should save >5% on average"
+
+    # CPU and GPU performance stay within a few percent of the baseline
+    for scheme, row in avg.items():
+        assert 0.90 < row[4] < 1.10, f"CPU speedup out of range: {row}"
+        assert 0.90 < row[5] < 1.10, f"GPU speedup out of range: {row}"

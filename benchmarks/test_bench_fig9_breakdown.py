@@ -1,0 +1,37 @@
+"""Figure 9: detailed network energy breakdown.
+
+Paper reference: hybrid switching cuts input-buffer dynamic energy by
+51.3% on average with a 0.6% dynamic overhead from the CS components;
+20.8% total dynamic reduction; 17.3% static saving with 2.1% CS static
+overhead; savings in crossbar/link/arbiter energy are negligible
+(circuit and packet flits pass through the same crossbars and wires).
+"""
+
+from repro.harness import experiments as E
+
+from benchmarks.conftest import save_result
+
+
+def test_fig9_energy_breakdown(benchmark):
+    result = benchmark.pedantic(lambda: E.fig9(), rounds=1, iterations=1)
+    save_result("fig9_breakdown", result)
+
+    rows = {(r[0], r[1], r[2]): r for r in result.rows}
+    gpus = {r[0] for r in result.rows}
+    for gpu in gpus:
+        pkt_buf = rows[(gpu, "packet_vc4", "buffer")][3]
+        hyb_buf = rows[(gpu, "hybrid_tdm_vc4", "buffer")][3]
+        assert hyb_buf < pkt_buf, f"buffer dynamic energy must drop ({gpu})"
+
+        hyb_cs = rows[(gpu, "hybrid_tdm_vc4", "cs")][3]
+        hyb_dyn_total = sum(rows[(gpu, "hybrid_tdm_vc4", c)][3]
+                            for c in ("buffer", "cs", "xbar", "arbiter",
+                                      "clock", "link"))
+        assert hyb_cs / hyb_dyn_total < 0.05, \
+            "CS dynamic overhead must stay small"
+
+        # crossbar and link energy barely move between schemes
+        for comp in ("xbar", "link"):
+            p = rows[(gpu, "packet_vc4", comp)][3]
+            h = rows[(gpu, "hybrid_tdm_vc4", comp)][3]
+            assert abs(h - p) / max(p, 1) < 0.35

@@ -1,0 +1,51 @@
+"""Simulator micro-benchmarks (pytest-benchmark timing benchmarks).
+
+These measure the Python simulation kernel itself — cycles/second for
+each router type — so performance regressions in the hot loops are
+caught.  They are the only benchmarks here that use pytest-benchmark's
+statistical timing (the figure/table benches above run once and assert
+shapes).
+"""
+
+from repro.config import scheme_config
+from repro.network.network import build_network
+from repro.sim.kernel import Simulator
+from repro.traffic import attach_synthetic_sources, make_pattern
+
+
+def _setup(scheme, rate=0.2):
+    cfg = scheme_config(scheme)
+    sim = Simulator(seed=3)
+    net = build_network(cfg, sim)
+    pat = make_pattern("uniform_random", net.mesh, sim.rng)
+    attach_synthetic_sources(net, pat, injection_rate=rate, rng=sim.rng)
+    sim.run(300)  # warm the pipelines
+    return sim
+
+
+def test_perf_packet_router_cycles(benchmark):
+    sim = _setup("packet_vc4")
+    benchmark(lambda: sim.run(100))
+
+
+def test_perf_hybrid_router_cycles(benchmark):
+    sim = _setup("hybrid_tdm_vc4")
+    benchmark(lambda: sim.run(100))
+
+
+def test_perf_sdm_router_cycles(benchmark):
+    sim = _setup("hybrid_sdm_vc4")
+    benchmark(lambda: sim.run(100))
+
+
+def test_perf_hybrid_with_sharing_and_gating(benchmark):
+    sim = _setup("hybrid_tdm_hop_vct")
+    benchmark(lambda: sim.run(100))
+
+
+def test_perf_idle_network_fast_path(benchmark):
+    """An idle network must step much faster than a loaded one."""
+    cfg = scheme_config("hybrid_tdm_vc4")
+    sim = Simulator(seed=3)
+    build_network(cfg, sim)
+    benchmark(lambda: sim.run(100))

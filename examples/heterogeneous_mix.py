@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""One heterogeneous CPU+GPU workload mix across all network schemes.
+
+Reproduces one column of Figure 8 (plus the Figure-9 style energy
+breakdown) for a chosen SPEC-OMP CPU benchmark and GPU kernel on the
+36-tile system of Figure 7.
+
+Run:  python examples/heterogeneous_mix.py [CPU] [GPU]
+      e.g. python examples/heterogeneous_mix.py ART BLACKSCHOLES
+"""
+
+import argparse
+
+from repro.harness.report import format_table
+from repro.hetero import CPU_BENCHMARKS, GPU_BENCHMARKS, HeteroSystem
+
+SCHEMES = ("packet_vc4", "hybrid_tdm_vc4", "hybrid_tdm_hop_vc4",
+           "hybrid_tdm_hop_vct")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("cpu", nargs="?", default="ART",
+                        choices=sorted(CPU_BENCHMARKS))
+    parser.add_argument("gpu", nargs="?", default="BLACKSCHOLES",
+                        choices=sorted(GPU_BENCHMARKS))
+    parser.add_argument("--measure", type=int, default=6000)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    print(f"Workload mix: CPU={args.cpu} x GPU={args.gpu} "
+          f"(Figure 7 system: 8 C / 12 A / 12 L2 / 4 M tiles)\n")
+
+    results = {}
+    for scheme in SCHEMES:
+        system = HeteroSystem(scheme, args.cpu, args.gpu, seed=args.seed)
+        results[scheme] = system.run(warmup=2000, measure=args.measure)
+
+    base = results["packet_vc4"]
+    rows = []
+    for scheme in SCHEMES:
+        r = results[scheme]
+        rows.append((
+            scheme,
+            100 * (1 - r.energy.total / base.energy.total),
+            r.cpu_ipc / base.cpu_ipc,
+            r.gpu_throughput / base.gpu_throughput,
+            r.cs_fraction,
+            r.gpu_injection_rate,
+            r.avg_pkt_latency,
+        ))
+    print(format_table(
+        ("scheme", "energy_save_%", "cpu_speedup", "gpu_speedup",
+         "cs_frac", "gpu_inj", "avg_lat"), rows,
+        title="Figure 8 style summary (vs packet_vc4 baseline)"))
+
+    print()
+    breakdown_rows = []
+    for scheme in ("packet_vc4", "hybrid_tdm_vc4"):
+        e = results[scheme].energy
+        for comp, dyn, sta in e.as_rows():
+            breakdown_rows.append((scheme, comp, dyn / 1000, sta / 1000))
+    print(format_table(("scheme", "component", "dynamic_nJ", "static_nJ"),
+                       breakdown_rows,
+                       title="Figure 9 style energy breakdown"))
+
+    h = results["hybrid_tdm_vc4"].energy
+    p = base.energy
+    print(f"\nbuffer dynamic saving: "
+          f"{100 * (1 - h.dynamic['buffer'] / p.dynamic['buffer']):.1f}% "
+          f"(paper average: 51.3%)")
+    print(f"CS dynamic overhead:   "
+          f"{100 * h.dynamic_fraction('cs'):.2f}% (paper: 0.6%)")
+    print(f"CS static overhead:    "
+          f"{100 * h.static_fraction('cs'):.2f}% (paper: 2.1%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Load-latency and energy sweep over synthetic traffic (Figures 4/5).
+
+Sweeps injection rate for a chosen pattern across the paper's four
+schemes and prints the load-latency table plus an ASCII latency plot.
+
+Run:  python examples/synthetic_sweep.py [pattern] [--rates 0.1,0.3,...]
+      pattern in {uniform_random, tornado, transpose, ...}
+"""
+
+import argparse
+
+from repro.harness.report import format_table
+from repro.harness.runner import load_latency_sweep
+
+SCHEMES = ("packet_vc4", "hybrid_sdm_vc4", "hybrid_tdm_vc4",
+           "hybrid_tdm_vct")
+
+
+def ascii_plot(curves, width=60, height=12):
+    """Tiny ASCII latency-vs-load plot, one mark per scheme."""
+    marks = {"packet_vc4": "P", "hybrid_sdm_vc4": "S",
+             "hybrid_tdm_vc4": "T", "hybrid_tdm_vct": "t"}
+    points = [(r.accepted, min(r.avg_latency, 200), marks[s])
+              for s, runs in curves.items() for r in runs]
+    if not points:
+        return ""
+    xmax = max(p[0] for p in points) or 1
+    ymax = max(p[1] for p in points) or 1
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for x, y, m in points:
+        col = int(x / xmax * width)
+        row = height - int(y / ymax * height)
+        grid[row][col] = m
+    lines = ["latency"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + "> accepted load")
+    lines.append("  marks: P=Packet-VC4  S=Hybrid-SDM  T=Hybrid-TDM "
+                 " t=Hybrid-TDM-VCt")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("pattern", nargs="?", default="transpose")
+    parser.add_argument("--rates", default="0.05,0.15,0.25,0.35,0.45,0.55")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    rates = [float(r) for r in args.rates.split(",")]
+
+    curves = {}
+    rows = []
+    for scheme in SCHEMES:
+        runs = load_latency_sweep(scheme, args.pattern, rates=rates,
+                                  seed=args.seed)
+        curves[scheme] = runs
+        for r in runs:
+            rows.append((scheme, r.offered, r.accepted, r.avg_latency,
+                         r.p99_latency, r.cs_fraction,
+                         r.energy_per_message_pj / 1000))
+
+    print(format_table(
+        ("scheme", "offered", "accepted", "avg_lat", "p99_lat",
+         "cs_frac", "nJ/msg"), rows,
+        title=f"Load-latency sweep: {args.pattern}"))
+    print()
+    print(ascii_plot(curves))
+    print()
+    base = max(r.accepted for r in curves["packet_vc4"])
+    for scheme in SCHEMES[1:]:
+        best = max(r.accepted for r in curves[scheme])
+        print(f"saturation throughput vs Packet-VC4: {scheme:18s} "
+              f"{100 * (best / base - 1):+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

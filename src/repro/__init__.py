@@ -1,0 +1,71 @@
+"""repro — Energy-Efficient TDM Hybrid-Switched NoC (Yin et al., 2014).
+
+A cycle-level reproduction of the paper's system: a 2D-mesh NoC in which
+packet-switched and circuit-switched messages share one fabric through
+time-division multiplexing, plus every substrate the evaluation needs —
+the canonical VC wormhole router, the SDM hybrid baseline, an
+Orion-style energy/area model, synthetic traffic, and a closed-loop
+heterogeneous CPU/GPU multicore model.
+
+Quickstart::
+
+    from repro import Simulator, scheme_config, build_network
+    from repro.traffic import make_pattern, attach_synthetic_sources
+
+    cfg = scheme_config("hybrid_tdm_vc4")
+    sim = Simulator(seed=1)
+    net = build_network(cfg, sim)
+    pattern = make_pattern("transpose", net.mesh, sim.rng)
+    attach_synthetic_sources(net, pattern, injection_rate=0.2, rng=sim.rng)
+    sim.run(2000); net.reset_stats(); sim.run(6000)
+    print(net.accepted_load(), net.pkt_latency.mean)
+"""
+
+from repro.config import (
+    CACHE_LINE_BYTES,
+    CircuitConfig,
+    NetworkConfig,
+    RouterConfig,
+    SCHEMES,
+    SDMConfig,
+    SlotTableConfig,
+    VCGatingConfig,
+    scheme_config,
+    table_i_summary,
+)
+from repro.sim import Simulator
+from repro.network import Network, build_network, Mesh
+from repro.energy import (
+    AreaModel,
+    EnergyParams,
+    EnergyReport,
+    compute_energy,
+    energy_saving,
+    router_area_mm2,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "CircuitConfig",
+    "NetworkConfig",
+    "RouterConfig",
+    "SCHEMES",
+    "SDMConfig",
+    "SlotTableConfig",
+    "VCGatingConfig",
+    "scheme_config",
+    "table_i_summary",
+    "Simulator",
+    "Network",
+    "build_network",
+    "Mesh",
+    "AreaModel",
+    "EnergyParams",
+    "EnergyReport",
+    "compute_energy",
+    "energy_saving",
+    "router_area_mm2",
+    "__version__",
+]

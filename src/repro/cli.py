@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``sweep``     load-latency sweep over synthetic traffic (Figure 4 style)
+``energy``    energy-saving comparison at one injection rate (Figure 5)
+``hetero``    one heterogeneous workload mix across schemes (Figure 8)
+``table3``    GPU injection / CS-fraction table (Table III)
+``fig``       regenerate a whole paper artefact (fig4/fig5/fig6/fig8/
+              fig9/table3) via the experiment harness
+``inspect``   run a short simulation and dump live state (slot tables,
+              occupancy heatmap, circuits)
+
+Examples
+--------
+
+    python -m repro sweep transpose --rates 0.1,0.3,0.5
+    python -m repro hetero ART BLACKSCHOLES
+    python -m repro fig fig5 --csv out.csv
+    python -m repro inspect --scheme hybrid_tdm_vc4 --pattern tornado
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import SCHEMES, scheme_config
+from repro.harness import experiments as experiments_mod
+from repro.harness.report import format_table, write_csv
+from repro.harness.runner import load_latency_sweep, run_synthetic
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--csv", default=None, help="also write rows to CSV")
+
+
+def _emit(headers, rows, title: str, csv_path: Optional[str]) -> None:
+    print(format_table(headers, rows, title=title))
+    if csv_path:
+        write_csv(csv_path, headers, rows)
+        print(f"\nwrote {csv_path}")
+
+
+# ---------------------------------------------------------------------------
+def cmd_sweep(args) -> int:
+    rates = [float(r) for r in args.rates.split(",")]
+    rows = []
+    for scheme in args.schemes.split(","):
+        for r in load_latency_sweep(scheme, args.pattern, rates=rates,
+                                    seed=args.seed):
+            rows.append((scheme, r.offered, r.accepted, r.avg_latency,
+                         r.p99_latency, r.cs_fraction))
+    _emit(("scheme", "offered", "accepted", "avg_lat", "p99", "cs_frac"),
+          rows, f"Load-latency sweep: {args.pattern}", args.csv)
+    return 0
+
+
+def cmd_energy(args) -> int:
+    base = run_synthetic("packet_vc4", args.pattern, args.rate,
+                         seed=args.seed)
+    rows = [("packet_vc4", base.energy.total / 1e6,
+             base.energy_per_message_pj / 1000, 0.0, 0.0)]
+    for scheme in ("hybrid_tdm_vc4", "hybrid_tdm_vct"):
+        r = run_synthetic(scheme, args.pattern, args.rate, seed=args.seed)
+        save = 100 * (1 - r.energy_per_message_pj
+                      / base.energy_per_message_pj)
+        rows.append((scheme, r.energy.total / 1e6,
+                     r.energy_per_message_pj / 1000, r.cs_fraction, save))
+    _emit(("scheme", "total_uJ", "nJ_per_msg", "cs_frac", "save_%"),
+          rows, f"Energy @ {args.pattern} rate {args.rate}", args.csv)
+    return 0
+
+
+def cmd_hetero(args) -> int:
+    from repro.hetero import HeteroSystem
+    rows = []
+    base = None
+    for scheme in args.schemes.split(","):
+        system = HeteroSystem(scheme, args.cpu, args.gpu, seed=args.seed)
+        res = system.run(warmup=args.warmup, measure=args.measure)
+        if base is None:
+            base = res
+        rows.append((scheme,
+                     100 * (1 - res.energy.total / base.energy.total),
+                     res.cpu_ipc / base.cpu_ipc,
+                     res.gpu_throughput / base.gpu_throughput,
+                     res.cs_fraction, res.gpu_injection_rate))
+    _emit(("scheme", "energy_save_%", "cpu_speedup", "gpu_speedup",
+           "cs_frac", "gpu_inj"), rows,
+          f"Heterogeneous mix {args.cpu} x {args.gpu}", args.csv)
+    return 0
+
+
+def cmd_table3(args) -> int:
+    result = experiments_mod.table3(seed=args.seed)
+    print(result.text)
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+    return 0
+
+
+def cmd_fig(args) -> int:
+    fn = getattr(experiments_mod, args.name, None)
+    if fn is None or args.name not in ("fig4", "fig5", "fig6", "fig8",
+                                       "fig9", "table3"):
+        print(f"unknown artefact {args.name!r}; expected fig4/fig5/fig6/"
+              f"fig8/fig9/table3", file=sys.stderr)
+        return 2
+    result = fn(seed=args.seed)
+    print(result.text)
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro import Simulator, build_network
+    from repro import inspect as insp
+    from repro.traffic import attach_synthetic_sources, make_pattern
+
+    cfg = scheme_config(args.scheme)
+    sim = Simulator(seed=args.seed)
+    net = build_network(cfg, sim)
+    pattern = make_pattern(args.pattern, net.mesh, sim.rng)
+    attach_synthetic_sources(net, pattern, injection_rate=args.rate,
+                             rng=sim.rng)
+    sim.run(args.cycles)
+    print(insp.network_summary(net))
+    print()
+    print(insp.occupancy_heatmap(net))
+    print()
+    if hasattr(net, "clock"):
+        print(insp.vc_power_map(net))
+        print()
+        print(insp.circuit_listing(net))
+        print()
+        print(insp.slot_table_dump(net, args.node))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TDM hybrid-switched NoC reproduction (Yin et al. 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="load-latency sweep (Figure 4 style)")
+    p.add_argument("pattern", nargs="?", default="transpose")
+    p.add_argument("--rates", default="0.05,0.15,0.25,0.35,0.45")
+    p.add_argument("--schemes",
+                   default="packet_vc4,hybrid_tdm_vc4,hybrid_tdm_vct")
+    _add_common(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("energy", help="energy comparison (Figure 5 style)")
+    p.add_argument("pattern", nargs="?", default="tornado")
+    p.add_argument("--rate", type=float, default=0.25)
+    _add_common(p)
+    p.set_defaults(fn=cmd_energy)
+
+    p = sub.add_parser("hetero", help="heterogeneous mix (Figure 8 style)")
+    p.add_argument("cpu", nargs="?", default="ART")
+    p.add_argument("gpu", nargs="?", default="BLACKSCHOLES")
+    p.add_argument("--schemes", default="packet_vc4,hybrid_tdm_vc4,"
+                   "hybrid_tdm_hop_vc4,hybrid_tdm_hop_vct")
+    p.add_argument("--warmup", type=int, default=2000)
+    p.add_argument("--measure", type=int, default=6000)
+    _add_common(p)
+    p.set_defaults(fn=cmd_hetero)
+
+    p = sub.add_parser("table3", help="GPU injection & CS fractions")
+    _add_common(p)
+    p.set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser("fig", help="regenerate a paper artefact")
+    p.add_argument("name", choices=["fig4", "fig5", "fig6", "fig8",
+                                    "fig9", "table3"])
+    _add_common(p)
+    p.set_defaults(fn=cmd_fig)
+
+    p = sub.add_parser("inspect", help="dump live simulation state")
+    p.add_argument("--scheme", default="hybrid_tdm_vc4",
+                   choices=list(SCHEMES))
+    p.add_argument("--pattern", default="tornado")
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--node", type=int, default=0)
+    _add_common(p)
+    p.set_defaults(fn=cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""The paper's primary contribution (S5-S11).
+
+TDM slot tables, the hybrid-switched router, the circuit path
+configuration protocol, switching-decision policies, circuit-switched
+path sharing (hitchhiker + vicinity), dynamic slot-table sizing and
+aggressive VC power gating.
+"""
+
+from repro.core.slot_table import SlotClock, SlotTable, RouterSlotState
+from repro.core.circuit import Connection, ConnectionManager, ConnState
+from repro.core.decision import (
+    stall_threshold_decision,
+    slack_decision,
+    always_circuit,
+    never_circuit,
+)
+from repro.core.sharing import DestinationLookupTable, SaturatingCounter
+from repro.core.vc_gating import VCGatingController
+from repro.core.slot_sizing import SlotSizeController
+from repro.core.hybrid_router import HybridRouter
+from repro.core.hybrid_ni import HybridNetworkInterface
+from repro.core.hybrid_network import HybridNetwork, build_hybrid_network
+
+__all__ = [
+    "SlotClock", "SlotTable", "RouterSlotState",
+    "Connection", "ConnectionManager", "ConnState",
+    "stall_threshold_decision", "slack_decision",
+    "always_circuit", "never_circuit",
+    "DestinationLookupTable", "SaturatingCounter",
+    "VCGatingController", "SlotSizeController",
+    "HybridRouter", "HybridNetworkInterface",
+    "HybridNetwork", "build_hybrid_network",
+]

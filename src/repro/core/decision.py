@@ -1,0 +1,116 @@
+"""Switching-decision policies (S8, Sections II-A and V-A2).
+
+A decision policy answers: *given that a circuit (or shared circuit) to
+the destination exists, should this particular message use it?*  The
+policy receives the stall the message would suffer waiting for its time
+slot and simple latency estimates for both switching modes.
+
+* :func:`stall_threshold_decision` — the synthetic-workload policy: use
+  the circuit only when the wait for the reserved slot is small
+  (Section II-A: "allowing a message to be packet-switched if the
+  established path corresponds to a time slot that requires stalling").
+* :func:`slack_decision` — the heterogeneous-workload policy for GPU
+  messages (Section V-A2): circuit-switch only when the message's slack,
+  estimated from the number of available warps in the issuing SM, covers
+  the full circuit-switched transmission latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.network.flit import Message
+
+#: signature: (msg, wait_cycles, cs_latency_est, ps_latency_est) -> bool
+DecisionFn = Callable[[Message, int, int, int], bool]
+
+
+def stall_threshold_decision(threshold: int) -> DecisionFn:
+    """Circuit-switch when the slot wait is at most *threshold* cycles,
+    unless packet switching would be outright faster."""
+
+    def decide(msg: Message, wait: int, cs_lat: int, ps_lat: int) -> bool:
+        if wait > threshold:
+            return False
+        return cs_lat <= ps_lat
+
+    return decide
+
+
+def slack_decision(default_slack: int = 0) -> DecisionFn:
+    """GPU policy: circuit-switch only when no performance penalty is
+    expected (Section V-A2).
+
+    A message is circuit-switched when the circuit is estimated to be at
+    least as fast as packet switching, or when the message's slack —
+    carried in ``msg.meta['slack']``, estimated by the issuing SM from
+    its available-warp count — covers the *extra* latency the circuit
+    would add over the packet-switched alternative.
+    """
+
+    def decide(msg: Message, wait: int, cs_lat: int, ps_lat: int) -> bool:
+        if cs_lat <= ps_lat:
+            return True
+        slack = msg.meta.get("slack", default_slack)
+        return slack >= (cs_lat - ps_lat)
+
+    return decide
+
+
+class FeedbackDecision:
+    """Performance-monitor-driven policy (the Section V-B2 future-work
+    direction: "accurate performance monitors can be referred in order
+    to avoid performance penalty").
+
+    Instead of trusting the analytic estimates alone, the policy uses
+    the source NI's *observed* latency EWMAs: a message is
+    circuit-switched when its slot wait plus the observed circuit
+    transit latency undercuts the observed packet-switched latency plus
+    the message's slack (plus a configurable margin).
+
+    The connection manager binds the policy to its NI on construction
+    (``bind``); until the first feedback samples arrive the analytic
+    estimates are used.
+    """
+
+    def __init__(self, margin: int = 0) -> None:
+        self.margin = margin
+        self.ni = None
+
+    def bind(self, ni) -> "FeedbackDecision":
+        self.ni = ni
+        return self
+
+    def __call__(self, msg: Message, wait: int, cs_lat: int,
+                 ps_lat: int) -> bool:
+        cs = cs_lat
+        ps = ps_lat
+        if self.ni is not None:
+            if self.ni.cs_latency_ewma > 0:
+                # observed circuit transit excludes the wait; add it back
+                cs = wait + self.ni.cs_latency_ewma
+            if self.ni.ps_latency_ewma > 0:
+                ps = max(ps, self.ni.ps_latency_ewma)
+        slack = msg.meta.get("slack", 0)
+        return cs <= ps + slack + self.margin
+
+
+def always_circuit() -> DecisionFn:
+    """Use the circuit whenever one exists (ablation baseline)."""
+    return lambda msg, wait, cs_lat, ps_lat: True
+
+
+def never_circuit() -> DecisionFn:
+    """Never use circuits even when established (ablation baseline)."""
+    return lambda msg, wait, cs_lat, ps_lat: False
+
+
+def estimate_ps_latency(hops: int, pipeline_latency: int, size: int) -> int:
+    """Zero-load packet-switched latency: per-hop pipeline + serialisation."""
+    per_hop = pipeline_latency + 2  # BW..SA wait + ST + link
+    return (hops + 1) * per_hop + (size - 1)
+
+
+def estimate_cs_latency(hops: int, wait: int, size: int) -> int:
+    """Circuit latency: slot wait + 2 cycles/router + serialisation."""
+    return wait + 2 * (hops + 1) + (size - 1)

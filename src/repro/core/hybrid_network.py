@@ -1,0 +1,95 @@
+"""Assembly of the TDM hybrid-switched network (S5-S11 wired together)."""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, List, Optional
+
+from repro.config import NetworkConfig
+from repro.core.circuit import ConnectionManager
+from repro.core.hybrid_ni import HybridNetworkInterface
+from repro.core.hybrid_router import HybridRouter
+from repro.core.sharing import DestinationLookupTable
+from repro.core.slot_sizing import SlotSizeController
+from repro.core.slot_table import SlotClock
+from repro.network.network import Network, _build
+from repro.sim.kernel import Simulator
+
+
+class HybridNetwork(Network):
+    """A mesh of hybrid-switched routers plus circuit control plane."""
+
+    def __init__(self, cfg: NetworkConfig, sim: Simulator, routers,
+                 interfaces, links, clock: SlotClock) -> None:
+        super().__init__(cfg, sim, routers, interfaces, links)
+        self.clock = clock
+        self.managers: List[ConnectionManager] = []
+        self.size_controller: Optional[SlotSizeController] = None
+
+    # ------------------------------------------------------------------
+    def _reset_router_extra(self, router, cycle: int) -> None:
+        if self.size_controller is not None:
+            self.size_controller.reset_integral(cycle)
+
+    def cs_flits_ejected(self) -> int:
+        return int(sum(ni.counters["cs_flit_ejected"]
+                       for ni in self.interfaces))
+
+    def ps_flits_ejected(self) -> int:
+        return int(sum(ni.counters["ps_flit_ejected"]
+                       for ni in self.interfaces))
+
+    def cs_flit_fraction(self) -> float:
+        cs = self.cs_flits_ejected()
+        total = cs + self.ps_flits_ejected()
+        return cs / total if total else 0.0
+
+    def active_connections(self) -> int:
+        from repro.core.circuit import ConnState
+        return sum(1 for m in self.managers for c in m.connections.values()
+                   if c.state is ConnState.ACTIVE)
+
+
+def build_hybrid_network(
+    cfg: NetworkConfig,
+    sim: Simulator,
+    decision_fn: Optional[Callable] = None,
+    eligible_fn: Optional[Callable] = None,
+) -> HybridNetwork:
+    """Build a TDM hybrid network, including per-node connection
+    managers, DLTs (when path sharing is on) and the dynamic slot-table
+    size controller."""
+    st = cfg.slot_table
+    active = st.initial_active if st.dynamic_sizing else st.size
+    clock = SlotClock(st.size, active=active)
+
+    net: HybridNetwork = _build(
+        cfg, sim,
+        router_cls=partial(HybridRouter, clock=clock),
+        ni_cls=HybridNetworkInterface,
+        net_cls=partial(HybridNetwork, clock=clock),
+    )
+
+    sharing = cfg.circuit.hitchhiker or cfg.circuit.vicinity
+    controller = SlotSizeController(clock, st, net.routers, net.managers)
+    net.size_controller = controller
+    sim.add(controller)
+
+    for node in range(net.mesh.num_nodes):
+        router = net.routers[node]
+        ni = net.interfaces[node]
+        dlt = None
+        if sharing:
+            dlt = DestinationLookupTable(
+                capacity=cfg.circuit.dlt_size,
+                fail_threshold=cfg.circuit.sharing_fail_threshold)
+            router.dlt = dlt
+        manager = ConnectionManager(
+            node, cfg, clock, net.mesh, ni, router,
+            decision_fn=decision_fn, eligible_fn=eligible_fn,
+            dlt=dlt, size_controller=controller)
+        ni.manager = manager
+        ni.config_handler = manager.on_config
+        router.on_setup_rejected = manager.on_setup_rejected
+        net.managers.append(manager)
+    return net

@@ -1,0 +1,103 @@
+"""Network interface for the TDM hybrid network (part of S6/S7).
+
+Adds the circuit-switched send path on top of the packet-switched NI:
+
+* consults the node's :class:`~repro.core.circuit.ConnectionManager` for
+  a circuit plan on every eligible message;
+* schedules the flits of a circuit-switched packet to enter the router's
+  local crossbar input at exactly their reserved slots (one flit per
+  consecutive slot, ``duration`` slots per TDM round);
+* falls back to packet switching when a (shared) circuit injection loses
+  to the circuit owner — the untransmitted remainder of the message is
+  re-framed and queued on the packet-switched path, and the manager's
+  2-bit sharing-failure counters are updated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.config import NetworkConfig
+from repro.core.circuit import CSPlan, ConnectionManager
+from repro.network.flit import Flit, Message, Packet
+from repro.network.interface import NetworkInterface
+
+
+class HybridNetworkInterface(NetworkInterface):
+    """NI with circuit-switched injection support."""
+
+    def __init__(self, node: int, cfg: NetworkConfig) -> None:
+        super().__init__(node, cfg)
+        self.manager: Optional[ConnectionManager] = None
+        self._now = 0               #: cycle of the current inject phase
+        self._cs_outstanding = 0    #: scheduled CS flits not yet resolved
+
+    # ------------------------------------------------------------------
+    def inject(self, cycle: int) -> None:
+        self._now = cycle
+        super().inject(cycle)
+
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        if self.manager is None:
+            self.enqueue_ps(msg)
+            return
+        plan = self.manager.plan_message(msg, self._now)
+        if plan is None:
+            self.enqueue_ps(msg)
+        else:
+            self._send_circuit(msg, plan)
+
+    def _send_circuit(self, msg: Message, plan: CSPlan) -> None:
+        msg.final_dst = plan.final_dst
+        pkt = Packet(msg, src=self.node, dst=plan.circuit_dst,
+                     size=plan.size, circuit=True)
+        pkt.inject_cycle = plan.t0
+        flits = pkt.make_flits()
+        token = {"cancelled": False, "plan": plan, "pkt": pkt,
+                 "pending": deque(flits)}
+        for i, flit in enumerate(flits):
+            flit.is_circuit = True
+            self.router.schedule_cs_injection(
+                plan.t0 + i, flit, plan.expected_outport,
+                on_ok=lambda f, t=token: self._cs_flit_ok(f, t),
+                on_fail=lambda f, t=token: self._cs_flit_failed(f, t),
+                token=token,
+            )
+        self._cs_outstanding += plan.size
+        self.sent_messages += 1
+        self.counters.inc(f"cs_send_{plan.kind}")
+
+    # ------------------------------------------------------------------
+    # router callbacks
+    # ------------------------------------------------------------------
+    def _cs_flit_ok(self, flit: Flit, token: dict) -> None:
+        self._cs_outstanding -= 1
+        token["pending"].remove(flit)
+        self.counters.inc("flit_injected")
+        plan: CSPlan = token["plan"]
+        if flit.is_tail and plan.kind == "hitchhike":
+            self.manager.note_hitchhike_success(plan.final_dst)
+
+    def _cs_flit_failed(self, flit: Flit, token: dict) -> None:
+        """A circuit injection lost (sharing contention or a stale
+        connection): cancel the rest and fall back to packet switching."""
+        plan: CSPlan = token["plan"]
+        pkt: Packet = token["pkt"]
+        pending: Deque[Flit] = token["pending"]
+        self._cs_outstanding -= len(pending)
+        token["cancelled"] = True
+        pkt.circuit = False
+        self.counters.inc("cs_fallback")
+        if plan.kind == "hitchhike":
+            self.manager.note_hitchhike_failure(plan.final_dst, self._now)
+        # everything not yet transmitted goes packet-switched; flits that
+        # already left continue on the circuit and reassemble by count
+        self.enqueue_stream(pkt, deque(pending))
+        pending.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_flits(self) -> int:
+        return super().pending_flits + self._cs_outstanding

@@ -1,0 +1,127 @@
+"""Circuit-switched path sharing support (S10, Section III-A).
+
+*Hitchhiker-sharing*: a node on an established circuit may inject its own
+message onto the circuit's idle slots when the message heads to the same
+destination.  The node learns about circuits passing through its router
+from the Destination Lookup Table (:class:`DestinationLookupTable`),
+updated as setup/teardown messages traverse the router.
+
+*Vicinity-sharing*: a source with a circuit to ``Dest1`` may send a
+message for an adjacent ``Dest2`` down the circuit; the message hops off
+at ``Dest1`` and finishes through the packet-switched network (handled by
+the NI; this module provides the candidate test).
+
+Both schemes use 2-bit saturating failure counters: when sharing towards
+a destination fails repeatedly (counter reaches the '10' state, i.e. 2),
+a dedicated circuit setup is generated instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.network.topology import Mesh
+
+
+class SaturatingCounter:
+    """2-bit saturating counter (0..3) with a trigger threshold."""
+
+    __slots__ = ("value", "threshold")
+
+    def __init__(self, threshold: int = 2) -> None:
+        self.value = 0
+        self.threshold = threshold
+
+    def up(self) -> bool:
+        """Increment (saturating at 3); True when the threshold is hit."""
+        if self.value < 3:
+            self.value += 1
+        return self.value >= self.threshold
+
+    def down(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    @property
+    def triggered(self) -> bool:
+        return self.value >= self.threshold
+
+
+class DLTEntry(NamedTuple):
+    dest: int          #: destination of the circuit passing through
+    slot: int          #: slot index at *this* router (local wheel)
+    duration: int
+    outport: int       #: output port the circuit takes at this router
+    conn: int          #: connection id (simulator-side validation)
+
+
+class DestinationLookupTable:
+    """Per-node DLT: circuits passing through this node's router.
+
+    Capacity-limited (8 entries by default, < 16 bytes of state in the
+    paper's 6x6 / 128-slot configuration).  Insertion beyond capacity
+    evicts the oldest entry (FIFO), matching a minimal hardware table.
+    """
+
+    def __init__(self, capacity: int = 8, fail_threshold: int = 2) -> None:
+        if capacity < 1:
+            raise ValueError("DLT capacity must be >= 1")
+        self.capacity = capacity
+        self.fail_threshold = fail_threshold
+        self._entries: List[DLTEntry] = []
+        self._fail: Dict[int, SaturatingCounter] = {}
+        self.lookups = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    def add(self, dest: int, slot: int, duration: int, outport: int,
+            conn: int) -> None:
+        self.remove_conn(conn)
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(0)
+        self._entries.append(DLTEntry(dest, slot, duration, outport, conn))
+        self.updates += 1
+
+    def remove_conn(self, conn: int) -> None:
+        self._entries = [e for e in self._entries if e.conn != conn]
+
+    def lookup(self, dest: int) -> Optional[DLTEntry]:
+        """First circuit through this node heading exactly to *dest*."""
+        self.lookups += 1
+        for e in self._entries:
+            if e.dest == dest:
+                return e
+        return None
+
+    def entries(self) -> List[DLTEntry]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._fail.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # sharing-failure escalation (per destination)
+    # ------------------------------------------------------------------
+    def note_failure(self, dest: int) -> bool:
+        """Record a sharing failure; True => generate a dedicated setup
+        and drop the destination's tracking entry (paper Section III-A1)."""
+        ctr = self._fail.setdefault(dest, SaturatingCounter(self.fail_threshold))
+        if ctr.up():
+            del self._fail[dest]
+            return True
+        return False
+
+    def note_success(self, dest: int) -> None:
+        ctr = self._fail.get(dest)
+        if ctr is not None:
+            ctr.down()
+
+
+def vicinity_candidate(mesh: Mesh, circuit_dest: int, msg_dest: int) -> bool:
+    """True when *msg_dest* is adjacent to an established circuit's
+    destination, making the circuit usable via vicinity-sharing."""
+    return mesh.are_adjacent(circuit_dest, msg_dest)

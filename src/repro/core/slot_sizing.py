@@ -1,0 +1,75 @@
+"""Dynamic time-division granularity adjustment (S9, Section II-C).
+
+The network starts with only a small portion of every slot table active
+(the rest power-gated) and doubles the active entry count whenever path
+allocation keeps failing.  On each resize every slot table is reset and
+path setup restarts (the per-node connection managers drop all state and
+re-qualify their frequent destinations).
+
+The controller also integrates active-entry-cycles for the static-energy
+model: leakage is paid only for powered entries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import SlotTableConfig
+from repro.core.slot_table import SlotClock
+from repro.sim.kernel import SimObject
+from repro.sim.stats import TimeWeighted
+
+
+class SlotSizeController(SimObject):
+    """Network-global controller of the active slot-table size."""
+
+    def __init__(self, clock: SlotClock, cfg: SlotTableConfig,
+                 routers: List, managers: List) -> None:
+        self.clock = clock
+        self.cfg = cfg
+        self.routers = routers
+        self.managers = managers
+        self._consecutive_failures = 0
+        self._resize_pending = False
+        self.resizes = 0
+        #: active entries over time (per input port per router)
+        self.entries_integral = TimeWeighted(clock.active, 0)
+
+    # ------------------------------------------------------------------
+    def note_setup_result(self, success: bool) -> None:
+        if not self.cfg.dynamic_sizing:
+            return
+        if success:
+            self._consecutive_failures = 0
+            return
+        self._consecutive_failures += 1
+        if (self._consecutive_failures >= self.cfg.resize_fail_threshold
+                and self.clock.active < self.cfg.size):
+            self._resize_pending = True
+
+    # ------------------------------------------------------------------
+    def control(self, cycle: int) -> None:
+        if not self._resize_pending:
+            return
+        self._resize_pending = False
+        self._consecutive_failures = 0
+        new_active = min(self.cfg.size, self.clock.active * 2)
+        if new_active == self.clock.active:
+            return
+        self.clock.active = new_active
+        self.clock.generation += 1
+        self.entries_integral.set(new_active, cycle)
+        self.resizes += 1
+        # "Once the capacity of the slot table is increased, all slot
+        # tables are reset, and the path setup procedure restarts."
+        for r in self.routers:
+            r.slot_state.reset()
+            if r.dlt is not None:
+                r.dlt.clear()
+        for m in self.managers:
+            m.reset_all()
+
+    # ------------------------------------------------------------------
+    def reset_integral(self, cycle: int) -> None:
+        self.entries_integral.set(self.clock.active, cycle)
+        self.entries_integral.integral = 0.0

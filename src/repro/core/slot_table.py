@@ -1,0 +1,169 @@
+"""TDM slot tables (S5, Section II and Figure 1).
+
+Each router input port keeps a :class:`SlotTable` whose entry for slot
+``cycle mod S`` holds a valid bit and an output port id (we additionally
+record the owning connection id, which a real implementation does not
+need — it lets the simulator validate teardown walks and path sharing).
+
+:class:`RouterSlotState` bundles the per-input tables with the per-output
+owner map used for the output-conflict check of Figure 1 (setup 3 fails
+because ``out_4`` is already reserved for ``in_1`` at slot ``s3``), and
+implements reservation/release of ``duration`` consecutive slots in
+modulo-S fashion (setup 1 wraps from ``s3`` to ``s0``).
+
+:class:`SlotClock` is the network-global active-table-size register used
+by dynamic time-division granularity adjustment (Section II-C): only the
+first ``active`` entries of each table are powered and the TDM wheel is
+``cycle mod active``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.topology import NUM_PORTS
+
+
+class SlotClock:
+    """Global TDM wheel: maps cycles to slot indices over active entries."""
+
+    __slots__ = ("max_size", "active", "generation")
+
+    def __init__(self, max_size: int, active: Optional[int] = None) -> None:
+        if max_size < 2:
+            raise ValueError("slot table size must be >= 2")
+        self.max_size = max_size
+        self.active = max_size if active is None else active
+        if not (2 <= self.active <= max_size):
+            raise ValueError("active size out of range")
+        #: bumped on every dynamic resize; configuration messages are
+        #: stamped with it so a setup/teardown crossing a table reset can
+        #: never leave reservations the teardown walk cannot reach
+        self.generation = 0
+
+    def slot(self, cycle: int) -> int:
+        return cycle % self.active
+
+    def wrap(self, slot: int) -> int:
+        return slot % self.active
+
+    def next_cycle_for_slot(self, slot: int, not_before: int) -> int:
+        """Earliest cycle >= *not_before* whose slot index equals *slot*."""
+        s = self.active
+        base = self.wrap(slot)
+        delta = (base - not_before) % s
+        return not_before + delta
+
+
+class SlotTable:
+    """Slot table of one input port: valid bit + output port (+ conn id)."""
+
+    __slots__ = ("size", "valid", "outport", "conn")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.valid = [False] * size
+        self.outport = [0] * size
+        self.conn = [-1] * size
+
+    def set(self, slot: int, outport: int, conn: int) -> None:
+        self.valid[slot] = True
+        self.outport[slot] = outport
+        self.conn[slot] = conn
+
+    def clear(self, slot: int) -> None:
+        self.valid[slot] = False
+        self.conn[slot] = -1
+
+    def lookup(self, slot: int) -> Optional[Tuple[int, int]]:
+        """(outport, conn) when *slot* is reserved, else None."""
+        if self.valid[slot]:
+            return self.outport[slot], self.conn[slot]
+        return None
+
+    def reserved_count(self, active: int) -> int:
+        return sum(self.valid[:active])
+
+    def reset(self) -> None:
+        for i in range(self.size):
+            self.valid[i] = False
+            self.conn[i] = -1
+
+
+class RouterSlotState:
+    """All slot state of one hybrid router.
+
+    ``out_owner[outport][slot]`` records which input port holds the
+    output at that slot (or -1), giving the O(1) output-conflict check.
+    """
+
+    __slots__ = ("clock", "in_tables", "out_owner", "reserve_cap")
+
+    def __init__(self, clock: SlotClock, reserve_cap: float = 0.9) -> None:
+        self.clock = clock
+        size = clock.max_size
+        self.in_tables: List[SlotTable] = [SlotTable(size) for _ in range(NUM_PORTS)]
+        self.out_owner: List[List[int]] = [[-1] * size for _ in range(NUM_PORTS)]
+        self.reserve_cap = reserve_cap
+
+    # ------------------------------------------------------------------
+    def _slots(self, start: int, duration: int) -> Sequence[int]:
+        wheel = self.clock.active
+        return [(start + i) % wheel for i in range(duration)]
+
+    def can_reserve(self, inport: int, outport: int, start: int,
+                    duration: int) -> bool:
+        """Figure-1 checks: input slot free AND output unclaimed, for all
+        ``duration`` consecutive slots, plus the anti-starvation cap."""
+        table = self.in_tables[inport]
+        owner = self.out_owner[outport]
+        slots = self._slots(start, duration)
+        for s in slots:
+            if table.valid[s] or owner[s] != -1:
+                return False
+        cap_entries = int(self.reserve_cap * self.clock.active)
+        if table.reserved_count(self.clock.active) + duration > cap_entries:
+            return False
+        return True
+
+    def reserve(self, inport: int, outport: int, start: int, duration: int,
+                conn: int) -> None:
+        if not self.can_reserve(inport, outport, start, duration):
+            raise ValueError("reservation conflict: call can_reserve first")
+        for s in self._slots(start, duration):
+            self.in_tables[inport].set(s, outport, conn)
+            self.out_owner[outport][s] = inport
+
+    def release(self, inport: int, start: int, duration: int,
+                conn: int) -> Optional[int]:
+        """Invalidate a reservation; returns its outport (None if absent).
+
+        Only entries still owned by *conn* are cleared, so a release
+        racing a table reset cannot clobber an unrelated reservation.
+        """
+        table = self.in_tables[inport]
+        outport: Optional[int] = None
+        for s in self._slots(start, duration):
+            if table.valid[s] and table.conn[s] == conn:
+                outport = table.outport[s]
+                table.clear(s)
+                self.out_owner[outport][s] = -1
+        return outport
+
+    # ------------------------------------------------------------------
+    def lookup_in(self, inport: int, slot: int) -> Optional[Tuple[int, int]]:
+        return self.in_tables[inport].lookup(slot)
+
+    def output_reserved(self, outport: int, slot: int) -> bool:
+        return self.out_owner[outport][slot] != -1
+
+    def reserved_entries(self) -> int:
+        active = self.clock.active
+        return sum(t.reserved_count(active) for t in self.in_tables)
+
+    def reset(self) -> None:
+        for t in self.in_tables:
+            t.reset()
+        for owner in self.out_owner:
+            for i in range(len(owner)):
+                owner[i] = -1

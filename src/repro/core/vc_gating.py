@@ -1,0 +1,70 @@
+"""Aggressive VC power gating (S11, Section III-B).
+
+Each router periodically compares its virtual-channel utilisation ``mu``
+(mean fraction of active data VCs that are busy, sampled every cycle)
+against two thresholds:
+
+* ``mu > threshold_high``  -> activate one more VC set
+* ``mu < threshold_low``   -> begin deactivating one VC set
+
+A "VC set" is one VC index across all input ports.  Deactivation is
+two-phase, as required by the paper ("the VC must be evacuated before
+adjusting"): the VC is first removed from the advertised count so
+upstream allocators stop granting it (the downstream-update message),
+then actually power-gated once every port's buffer for that index has
+drained; only then does its leakage stop accruing.
+"""
+
+from __future__ import annotations
+
+from repro.config import VCGatingConfig
+
+
+class VCGatingController:
+    """Per-router dual-threshold VC tuner."""
+
+    def __init__(self, router, cfg: VCGatingConfig) -> None:
+        self.router = router
+        self.cfg = cfg
+        self._next_epoch = cfg.epoch
+        self._draining: int = -1  # VC index waiting to drain, or -1
+        self.activations = 0
+        self.deactivations = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        r = self.router
+        # finish a pending drain as soon as the VC empties
+        if self._draining >= 0 and r.vc_drainable(self._draining):
+            r.set_powered_vcs(r.active_vcs, cycle)
+            self._draining = -1
+            self.deactivations += 1
+        if cycle < self._next_epoch:
+            return
+        self._next_epoch = cycle + self.cfg.epoch
+        if self.cfg.metric == "queue_delay":
+            # Section V-B4 future-work variant: gate on packet latency
+            delay = r.pop_queue_delay()
+            r.pop_utilisation()
+            high = delay > self.cfg.delay_high
+            low = delay < self.cfg.delay_low
+        else:
+            mu = r.pop_utilisation()
+            high = mu > self.cfg.threshold_high
+            low = mu < self.cfg.threshold_low
+        max_vcs = r.rcfg.num_vcs
+        if high and r.active_vcs < max_vcs:
+            # cancel any drain in progress and power the set back up
+            self._draining = -1
+            r.active_vcs += 1
+            r.set_powered_vcs(max(r.powered_vcs, r.active_vcs), cycle)
+            self.activations += 1
+        elif (low and r.active_vcs > self.cfg.min_vcs
+              and self._draining < 0):
+            r.active_vcs -= 1
+            self._draining = r.active_vcs  # highest index drains
+            # powered count unchanged until the drain completes
+
+    @property
+    def draining_vc(self) -> int:
+        return self._draining

@@ -1,0 +1,19 @@
+"""Orion-2.0-style NoC energy and area model (S13).
+
+Per-event dynamic energies plus per-component leakage at 45 nm / 1.0 V /
+1.5 GHz, with the RTL-informed corrections the paper applies (matrix
+crossbar, adjusted SRAM cell spacing, Becker-RTL area calibration).
+"""
+
+from repro.energy.params import EnergyParams
+from repro.energy.model import EnergyReport, compute_energy, energy_saving
+from repro.energy.area import AreaModel, router_area_mm2
+
+__all__ = [
+    "EnergyParams",
+    "EnergyReport",
+    "compute_energy",
+    "energy_saving",
+    "AreaModel",
+    "router_area_mm2",
+]

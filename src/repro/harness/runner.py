@@ -1,0 +1,114 @@
+"""Synthetic-workload run primitives (Section IV methodology).
+
+The paper warms the network up with 1000 packets and simulates 100,000
+packets.  A Python cycle-level model cannot afford that per sweep point,
+so runs are cycle-budgeted and scaled by ``REPRO_SCALE`` (default 1.0 ~
+a few thousand measured cycles per point; 4.0 approaches paper-length
+statistics for overnight runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.config import NetworkConfig, scheme_config
+from repro.energy import EnergyParams, EnergyReport, compute_energy
+from repro.network.network import Network, build_network
+from repro.sim.kernel import Simulator
+from repro.traffic import attach_synthetic_sources, make_pattern
+
+
+def scale() -> float:
+    """Global experiment-size multiplier from ``REPRO_SCALE``."""
+    try:
+        return max(0.05, float(os.environ.get("REPRO_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def scaled(cycles: int) -> int:
+    return max(200, int(cycles * scale()))
+
+
+@dataclass
+class SynthRun:
+    """Everything measured in one synthetic-traffic simulation."""
+
+    scheme: str
+    pattern: str
+    offered: float              #: flits/node/cycle offered
+    accepted: float             #: accepted load (PS-flit equivalents)
+    avg_latency: float
+    p99_latency: float
+    cs_fraction: float
+    energy: EnergyReport
+    messages_delivered: int
+    cycles: int
+    slot_wheel: int             #: final active slot-table size (TDM)
+
+    @property
+    def energy_per_message_pj(self) -> float:
+        return self.energy.total / max(1, self.messages_delivered)
+
+
+def run_synthetic(scheme: str, pattern: str, rate: float,
+                  warmup: int = 1500, measure: int = 4000,
+                  seed: int = 1, width: int = 6, height: int = 6,
+                  slot_table_size: int = 128,
+                  cfg: Optional[NetworkConfig] = None,
+                  energy_params: Optional[EnergyParams] = None) -> SynthRun:
+    """One (scheme, pattern, rate) simulation with warmup + measurement."""
+    if cfg is None:
+        cfg = scheme_config(scheme, width=width, height=height,
+                            slot_table_size=slot_table_size)
+    sim = Simulator(seed=seed)
+    net: Network = build_network(cfg, sim)
+    pat = make_pattern(pattern, net.mesh, sim.rng)
+    attach_synthetic_sources(net, pat, injection_rate=rate, rng=sim.rng)
+    sim.run(scaled(warmup))
+    net.reset_stats()
+    sim.run(scaled(measure))
+    cs = net.cs_flit_fraction() if hasattr(net, "cs_flit_fraction") else 0.0
+    wheel = net.clock.active if hasattr(net, "clock") else 0
+    return SynthRun(
+        scheme=scheme,
+        pattern=pattern,
+        offered=rate,
+        accepted=net.accepted_load(),
+        avg_latency=net.pkt_latency.mean,
+        p99_latency=net.pkt_latency.percentile(99),
+        cs_fraction=cs,
+        energy=compute_energy(net, energy_params),
+        messages_delivered=net.messages_delivered,
+        cycles=net.measured_cycles,
+        slot_wheel=wheel,
+    )
+
+
+#: default injection-rate grid for the load-latency curves (Fig. 4)
+DEFAULT_RATES: Sequence[float] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30,
+                                  0.35, 0.40, 0.45, 0.50, 0.55)
+
+
+def load_latency_sweep(scheme: str, pattern: str,
+                       rates: Sequence[float] = DEFAULT_RATES,
+                       **kwargs) -> List[SynthRun]:
+    """Latency/throughput across an injection-rate grid."""
+    return [run_synthetic(scheme, pattern, r, **kwargs) for r in rates]
+
+
+def saturation_throughput(scheme: str, pattern: str,
+                          probe_rates: Sequence[float] = (0.45, 0.55, 0.65),
+                          **kwargs) -> float:
+    """Maximum accepted load: probe deep in saturation and take the best.
+
+    (The standard methodology: offered load beyond saturation, accepted
+    throughput plateaus at network capacity.)
+    """
+    best = 0.0
+    for r in probe_rates:
+        run = run_synthetic(scheme, pattern, r, **kwargs)
+        best = max(best, run.accepted)
+    return best

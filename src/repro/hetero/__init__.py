@@ -1,0 +1,32 @@
+"""Heterogeneous multicore substrate (S15-S16).
+
+Closed-loop models of the paper's evaluated system (Figure 7, Table II):
+out-of-order CPU cores, SIMT accelerator cores with warp-level slack,
+banked shared L2, and memory controllers — all generating request/reply
+traffic over any of the network schemes.  This substitutes for the
+paper's Simics/GEMS + GPGPU-Sim full-system stack: the NoC results
+depend on the traffic these simulators emit, and the models here are
+calibrated so per-benchmark injection rates and locality match Table III.
+"""
+
+from repro.hetero.tiles import TileType, HeteroLayout, FLOORPLAN_6X6
+from repro.hetero.workloads import (
+    CPUWorkloadProfile,
+    GPUWorkloadProfile,
+    CPU_BENCHMARKS,
+    GPU_BENCHMARKS,
+    workload_mixes,
+)
+from repro.hetero.cpu import CPUCoreEndpoint
+from repro.hetero.gpu import GPUCoreEndpoint
+from repro.hetero.memory import L2BankEndpoint, MemoryControllerEndpoint
+from repro.hetero.system import HeteroSystem, HeteroResult
+
+__all__ = [
+    "TileType", "HeteroLayout", "FLOORPLAN_6X6",
+    "CPUWorkloadProfile", "GPUWorkloadProfile",
+    "CPU_BENCHMARKS", "GPU_BENCHMARKS", "workload_mixes",
+    "CPUCoreEndpoint", "GPUCoreEndpoint",
+    "L2BankEndpoint", "MemoryControllerEndpoint",
+    "HeteroSystem", "HeteroResult",
+]

@@ -1,0 +1,107 @@
+"""Baseline system configuration (Table II).
+
+==========================  ==============================================
+Processor                   four-way out-of-order, 6 integer FUs,
+                            4 floating-point FUs, 128-entry ROB
+L1 cache                    split private I/D, 64 KB each, 2-way,
+                            64 B blocks, 1-cycle access
+L2 cache                    16 MB banked shared distributed, 4-way,
+                            64 B blocks, 8-cycle access
+Accelerator                 32-wide SIMD pipeline, 1024 threads,
+                            32 KB shared memory
+Memory                      4 GB DRAM, 200-cycle access latency,
+                            4 memory controllers
+==========================  ==============================================
+
+The cycle-level models consume the *timing* parameters (L2/DRAM access
+latencies, warp count = threads/SIMD width, ROB-derived MLP); the
+capacity parameters document the modelled system and feed validation
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    issue_width: int = 4
+    int_fus: int = 6
+    fp_fus: int = 4
+    rob_entries: int = 128
+    l1_size_kb: int = 64          #: per side (split I/D)
+    l1_assoc: int = 2
+    l1_block_bytes: int = 64
+    l1_latency: int = 1
+
+
+@dataclass(frozen=True)
+class L2Config:
+    total_size_mb: int = 16
+    assoc: int = 4
+    block_bytes: int = 64
+    access_latency: int = 8
+    banks: int = 12               #: one per L2 tile (Figure 7)
+
+    @property
+    def bank_size_mb(self) -> float:
+        return self.total_size_mb / self.banks
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    simd_width: int = 32
+    threads: int = 1024
+    shared_memory_kb: int = 32
+
+    @property
+    def warps(self) -> int:
+        return self.threads // self.simd_width
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    dram_size_gb: int = 4
+    access_latency: int = 200
+    controllers: int = 4
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full Table-II configuration bundle."""
+
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    l2: L2Config = field(default_factory=L2Config)
+    accel: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+
+def table_ii_summary(cfg: SystemConfig | None = None
+                     ) -> Tuple[Tuple[str, str], ...]:
+    """Render the Table-II style configuration summary."""
+    c = cfg or SystemConfig()
+    return (
+        ("Processor", f"Four-way out-of-order, {c.cpu.int_fus} integer "
+                      f"FUs, {c.cpu.fp_fus} floating point FUs, "
+                      f"{c.cpu.rob_entries}-entry ROB"),
+        ("L1 Cache", f"Split private I/D caches, each "
+                     f"{c.cpu.l1_size_kb}KB, {c.cpu.l1_assoc}-way set "
+                     f"associative, {c.cpu.l1_block_bytes}B block size, "
+                     f"{c.cpu.l1_latency}-cycle access latency"),
+        ("L2 Cache", f"{c.l2.total_size_mb}M banked, shared distributed, "
+                     f"{c.l2.assoc}-way set associative, "
+                     f"{c.l2.block_bytes}B block size, "
+                     f"{c.l2.access_latency}-cycle access latency"),
+        ("Accelerator", f"{c.accel.simd_width}-wide SIMD pipeline, "
+                        f"{c.accel.threads} threads, "
+                        f"{c.accel.shared_memory_kb}KB shared memory"),
+        ("Memory", f"{c.memory.dram_size_gb}GB DRAM, "
+                   f"{c.memory.access_latency} cycle access latency, "
+                   f"{c.memory.controllers} memory controllers"),
+    )
+
+
+#: the default Table-II instance used across the heterogeneous models
+DEFAULT_SYSTEM = SystemConfig()

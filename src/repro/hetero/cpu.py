@@ -1,0 +1,91 @@
+"""Closed-loop CPU core model (Table II: four-way out-of-order core).
+
+The core retires ``ipc`` instructions per unstalled cycle and converts a
+profile-specific fraction into L1 misses that travel the NoC to an L2
+bank.  Retirement stalls when the MSHRs (``mlp``) fill or when a
+*critical* miss is outstanding — the coupling through which network
+latency becomes CPU performance (the paper's Figure 8(b) metric).
+All CPU traffic is packet-switched (Section V-A2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import NetworkConfig
+from repro.hetero.tiles import HeteroLayout
+from repro.hetero.workloads import CPUWorkloadProfile
+from repro.network.flit import Message, MessageClass
+from repro.network.interface import Endpoint
+
+
+class CPUCoreEndpoint(Endpoint):
+    """One CPU tile running threads of a SPEC OMP style workload."""
+
+    def __init__(self, node: int, cfg: NetworkConfig, layout: HeteroLayout,
+                 profile: CPUWorkloadProfile,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.node = node
+        self.cfg = cfg
+        self.layout = layout
+        self.profile = profile
+        self.rng = rng
+
+        self.instructions_retired = 0.0
+        self.outstanding = 0
+        self.crit_outstanding = 0
+        self.stall_cycles = 0
+        self._miss_credit = 0.0
+        self._retire_credit = 0.0
+        self.requests_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def blocked(self) -> bool:
+        return (self.crit_outstanding > 0
+                or self.outstanding >= self.profile.mlp)
+
+    def tick(self, cycle: int) -> None:
+        if self.blocked:
+            self.stall_cycles += 1
+            return
+        p = self.profile
+        self._retire_credit += p.ipc
+        retired = int(self._retire_credit)
+        self._retire_credit -= retired
+        self.instructions_retired += retired
+        self._miss_credit += retired * p.miss_rate
+        while self._miss_credit >= 1.0 and not self.blocked:
+            self._miss_credit -= 1.0
+            self._issue_miss(cycle)
+
+    def _issue_miss(self, cycle: int) -> None:
+        p = self.profile
+        addr = int(self.rng.integers(1 << 20))
+        bank = self.layout.bank_for_address(addr)
+        critical = bool(self.rng.random() < p.crit_fraction)
+        req = Message(src=self.node, dst=bank, mclass=MessageClass.CTRL,
+                      size_flits=1, create_cycle=cycle)
+        req.meta.update(kind="read_req", requester=self.node, gpu=False,
+                        critical=critical, miss_p=p.l2_miss_ratio)
+        self.ni.send(req)
+        self.requests_sent += 1
+        self.outstanding += 1
+        if critical:
+            self.crit_outstanding += 1
+        if self.rng.random() < p.store_fraction:
+            store = Message(src=self.node, dst=bank,
+                            mclass=MessageClass.DATA,
+                            size_flits=self.cfg.packet_size("ps_data"),
+                            create_cycle=cycle)
+            store.meta.update(kind="store", gpu=False)
+            self.ni.send(store)
+
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message, cycle: int) -> None:
+        if msg.meta.get("kind") != "data_reply":
+            return
+        self.outstanding = max(0, self.outstanding - 1)
+        if msg.meta.get("critical"):
+            self.crit_outstanding = max(0, self.crit_outstanding - 1)

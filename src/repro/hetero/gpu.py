@@ -1,0 +1,101 @@
+"""Closed-loop accelerator (SIMT SM) model (Table II).
+
+Each accelerator tile models one streaming multiprocessor with a pool of
+warps.  A warp alternates between a compute phase (profile-derived gap)
+and one coalesced memory request whose reply restarts the compute phase
+— so the SM's injection rate emerges from the round-trip latency, and
+throughput (completed warp iterations) is the Figure-8(c) GPU
+performance metric.
+
+The number of *available* warps (in compute, able to hide latency) gives
+each message its slack estimate: the Section V-A2 policy circuit-switches
+a GPU message only when that slack covers the circuit-switched latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import NetworkConfig
+from repro.hetero.tiles import HeteroLayout
+from repro.hetero.workloads import GPUWorkloadProfile
+from repro.network.flit import Message, MessageClass
+from repro.network.interface import Endpoint
+
+#: memory requests an SM can issue per cycle (coalescing unit)
+ISSUE_LIMIT = 2
+
+
+class GPUCoreEndpoint(Endpoint):
+    """One accelerator tile running a GPU kernel profile."""
+
+    def __init__(self, node: int, cfg: NetworkConfig, layout: HeteroLayout,
+                 profile: GPUWorkloadProfile,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.node = node
+        self.cfg = cfg
+        self.layout = layout
+        self.profile = profile
+        self.rng = rng
+
+        self.banks = layout.banks_for_accel(node, profile.bank_fraction)
+        #: (ready_cycle, warp_id) heap of warps in/finishing compute
+        self._ready: List[Tuple[int, int]] = [
+            (i % max(1, profile.compute_cycles // 4), i)
+            for i in range(profile.warps)
+        ]
+        heapq.heapify(self._ready)
+        self.waiting = 0
+        self.iterations = 0
+        self.requests_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def available_warps(self) -> int:
+        """Warps currently able to hide memory latency."""
+        return len(self._ready)
+
+    def slack_estimate(self) -> int:
+        return self.available_warps * self.profile.slack_per_warp
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        issued = 0
+        while (self._ready and issued < ISSUE_LIMIT
+               and self._ready[0][0] <= cycle):
+            _, warp = heapq.heappop(self._ready)
+            self._issue_request(cycle, warp)
+            issued += 1
+
+    def _issue_request(self, cycle: int, warp: int) -> None:
+        p = self.profile
+        bank = self.banks[int(self.rng.integers(len(self.banks)))]
+        slack = self.slack_estimate()
+        req = Message(src=self.node, dst=bank, mclass=MessageClass.CTRL,
+                      size_flits=1, create_cycle=cycle)
+        req.meta.update(kind="read_req", requester=self.node, gpu=True,
+                        warp=warp, slack=slack, miss_p=p.l2_miss_ratio)
+        self.ni.send(req)
+        self.requests_sent += 1
+        self.waiting += 1
+        if self.rng.random() < p.store_fraction:
+            store = Message(src=self.node, dst=bank,
+                            mclass=MessageClass.DATA,
+                            size_flits=self.cfg.packet_size("ps_data"),
+                            create_cycle=cycle)
+            store.meta.update(kind="store", gpu=True, slack=slack)
+            self.ni.send(store)
+
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message, cycle: int) -> None:
+        if msg.meta.get("kind") != "data_reply":
+            return
+        warp = msg.meta.get("warp", 0)
+        self.waiting = max(0, self.waiting - 1)
+        self.iterations += 1
+        heapq.heappush(self._ready,
+                       (cycle + self.profile.compute_cycles, warp))

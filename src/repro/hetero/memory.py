@@ -1,0 +1,151 @@
+"""Shared L2 banks and memory controllers (Table II).
+
+* L2 bank: 8-cycle access latency; a hit replies with a cache-line DATA
+  message, a miss forwards to the nearest memory controller and replies
+  when the fill returns.
+* Memory controller: 200-cycle DRAM access latency.
+
+Reply messages inherit the requester's identity and slack annotation, so
+the source-side circuit-switching decision at the L2/MC tiles can apply
+the Section V-A2 policy to GPU-bound data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import NetworkConfig
+from repro.hetero.config import DEFAULT_SYSTEM
+from repro.hetero.tiles import HeteroLayout
+from repro.network.flit import Message, MessageClass
+from repro.network.interface import Endpoint
+
+L2_LATENCY = DEFAULT_SYSTEM.l2.access_latency       #: Table II: 8 cycles
+DRAM_LATENCY = DEFAULT_SYSTEM.memory.access_latency  #: Table II: 200
+
+
+class _ScheduledEndpoint(Endpoint):
+    """Endpoint with a cycle-keyed action queue."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._due: Dict[int, List] = {}
+
+    def _schedule(self, cycle: int, fn) -> None:
+        self._due.setdefault(cycle, []).append(fn)
+
+    def tick(self, cycle: int) -> None:
+        actions = self._due.pop(cycle, None)
+        if actions:
+            for fn in actions:
+                fn(cycle)
+
+
+class L2BankEndpoint(_ScheduledEndpoint):
+    """One bank of the shared distributed L2.
+
+    The bank has finite request concurrency (``mshrs``): requests beyond
+    the limit wait in an input queue and occupy an MSHR when one frees
+    (hit replies free it at reply time; misses hold theirs until the
+    DRAM fill returns).  This bounds the bank's service rate the way a
+    real bank controller does, so network schemes feel back-pressure
+    from hot banks.
+    """
+
+    def __init__(self, node: int, cfg: NetworkConfig, layout: HeteroLayout,
+                 rng: np.random.Generator, mshrs: int = 16) -> None:
+        super().__init__()
+        self.node = node
+        self.cfg = cfg
+        self.layout = layout
+        self.rng = rng
+        self.mshrs = mshrs
+        self._in_service = 0
+        self._waiting: List[Message] = []
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.max_queue = 0
+
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message, cycle: int) -> None:
+        kind = msg.meta.get("kind")
+        if kind == "read_req":
+            self._admit(msg, cycle)
+        elif kind == "store":
+            self.stores += 1
+        elif kind == "mem_reply":
+            self._reply(msg.meta, cycle)
+            self._release(cycle)
+
+    def _admit(self, req: Message, cycle: int) -> None:
+        if self._in_service < self.mshrs:
+            self._in_service += 1
+            self._schedule(cycle + L2_LATENCY,
+                           lambda c, m=req: self._serve(m, c))
+        else:
+            self._waiting.append(req)
+            self.max_queue = max(self.max_queue, len(self._waiting))
+
+    def _release(self, cycle: int) -> None:
+        self._in_service -= 1
+        if self._waiting:
+            self._admit(self._waiting.pop(0), cycle)
+
+    def _serve(self, req: Message, cycle: int) -> None:
+        miss_p = req.meta.get("miss_p", 0.0)
+        if self.rng.random() < miss_p:
+            self.misses += 1
+            mc = self.layout.mem_for_bank(self.node)
+            fill = Message(src=self.node, dst=mc, mclass=MessageClass.CTRL,
+                           size_flits=1, create_cycle=cycle)
+            fill.meta.update(kind="mem_req", bank=self.node, orig=req.meta)
+            self.ni.send(fill)
+            # the MSHR stays held until the fill returns (mem_reply)
+        else:
+            self.hits += 1
+            self._reply(req.meta, cycle)
+            self._release(cycle)
+
+    def _reply(self, req_meta: dict, cycle: int) -> None:
+        meta = req_meta.get("orig", req_meta)
+        reply = Message(src=self.node, dst=meta["requester"],
+                        mclass=MessageClass.DATA,
+                        size_flits=self.cfg.packet_size("ps_data"),
+                        create_cycle=cycle)
+        reply.meta.update(kind="data_reply", gpu=meta.get("gpu", False),
+                          warp=meta.get("warp"), slack=meta.get("slack", 0),
+                          critical=meta.get("critical", False))
+        self.ni.send(reply)
+
+
+class MemoryControllerEndpoint(_ScheduledEndpoint):
+    """Off-chip DRAM channel behind one mesh tile."""
+
+    def __init__(self, node: int, cfg: NetworkConfig,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.node = node
+        self.cfg = cfg
+        self.rng = rng
+        self.accesses = 0
+
+    def on_message(self, msg: Message, cycle: int) -> None:
+        if msg.meta.get("kind") != "mem_req":
+            return
+        self.accesses += 1
+        self._schedule(cycle + DRAM_LATENCY,
+                       lambda c, m=msg: self._fill(m, c))
+
+    def _fill(self, req: Message, cycle: int) -> None:
+        orig = req.meta["orig"]
+        data = Message(src=self.node, dst=req.meta["bank"],
+                       mclass=MessageClass.DATA,
+                       size_flits=self.cfg.packet_size("ps_data"),
+                       create_cycle=cycle)
+        data.meta.update(kind="mem_reply", orig=orig,
+                         gpu=orig.get("gpu", False),
+                         slack=orig.get("slack", 0))
+        self.ni.send(data)

@@ -1,0 +1,158 @@
+"""The full heterogeneous system: tiles + workloads + network (S15).
+
+:class:`HeteroSystem` builds one network scheme, attaches CPU cores,
+accelerators, L2 banks and memory controllers per the Figure-7
+floorplan, applies the Section V-A2 switching policy (packet-switch all
+CPU traffic, hybrid-switch GPU data with warp-slack gating) and runs the
+closed-loop simulation.  :class:`HeteroResult` carries the Figure-8/9 and
+Table-III metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import NetworkConfig, scheme_config
+from repro.core.decision import slack_decision
+from repro.core.hybrid_network import build_hybrid_network
+from repro.energy import EnergyParams, EnergyReport, compute_energy
+from repro.hetero.cpu import CPUCoreEndpoint
+from repro.hetero.gpu import GPUCoreEndpoint
+from repro.hetero.memory import L2BankEndpoint, MemoryControllerEndpoint
+from repro.hetero.tiles import HeteroLayout, default_layout
+from repro.hetero.workloads import (
+    CPU_BENCHMARKS,
+    CPUWorkloadProfile,
+    GPU_BENCHMARKS,
+    GPUWorkloadProfile,
+)
+from repro.network.flit import Message, MessageClass
+from repro.network.network import Network, _build
+from repro.network.interface import NetworkInterface
+from repro.network.router import PacketRouter
+from repro.sdm.network import build_sdm_network
+from repro.sim.kernel import Simulator
+
+
+def gpu_data_eligible(msg: Message) -> bool:
+    """Section V-A2: only GPU data messages are hybrid-switched."""
+    return msg.mclass == MessageClass.DATA and bool(msg.meta.get("gpu"))
+
+
+@dataclass
+class HeteroResult:
+    scheme: str
+    cpu_benchmark: str
+    gpu_benchmark: str
+    cycles: int
+    cpu_instructions: float
+    gpu_iterations: int
+    energy: EnergyReport
+    cs_fraction: float
+    avg_pkt_latency: float
+    gpu_injection_rate: float  #: measured flits/accel-node/cycle
+
+    @property
+    def cpu_ipc(self) -> float:
+        return self.cpu_instructions / max(1, self.cycles)
+
+    @property
+    def gpu_throughput(self) -> float:
+        return self.gpu_iterations / max(1, self.cycles)
+
+
+class HeteroSystem:
+    """One scheme x workload-mix instantiation of the Figure-7 system."""
+
+    def __init__(self, scheme: str, cpu_benchmark: str, gpu_benchmark: str,
+                 seed: int = 0, width: int = 6, height: int = 6,
+                 cfg: Optional[NetworkConfig] = None) -> None:
+        self.scheme = scheme
+        self.cpu_name = cpu_benchmark
+        self.gpu_name = gpu_benchmark
+        self.cpu_profile: CPUWorkloadProfile = CPU_BENCHMARKS[cpu_benchmark]
+        self.gpu_profile: GPUWorkloadProfile = GPU_BENCHMARKS[gpu_benchmark]
+
+        self.cfg = cfg or scheme_config(scheme, width=width, height=height)
+        self.sim = Simulator(seed=seed)
+        self.net = self._build_network()
+        self.layout: HeteroLayout = default_layout(self.net.mesh)
+        self._attach_endpoints()
+        self._perf_base = (0.0, 0)
+
+    # ------------------------------------------------------------------
+    def _build_network(self) -> Network:
+        cfg, sim = self.cfg, self.sim
+        if cfg.switching == "tdm":
+            return build_hybrid_network(
+                cfg, sim,
+                decision_fn=slack_decision(),
+                eligible_fn=gpu_data_eligible)
+        if cfg.switching == "sdm":
+            return build_sdm_network(
+                cfg, sim,
+                decision_fn=slack_decision(),
+                eligible_fn=gpu_data_eligible)
+        return _build(cfg, sim, PacketRouter, NetworkInterface, Network)
+
+    def _attach_endpoints(self) -> None:
+        rng = self.sim.rng
+        self.cpus: Dict[int, CPUCoreEndpoint] = {}
+        self.gpus: Dict[int, GPUCoreEndpoint] = {}
+        self.l2s: Dict[int, L2BankEndpoint] = {}
+        self.mcs: Dict[int, MemoryControllerEndpoint] = {}
+        for node in self.layout.cpu_nodes:
+            ep = CPUCoreEndpoint(node, self.cfg, self.layout,
+                                 self.cpu_profile, rng)
+            self.net.attach_endpoint(node, ep)
+            self.cpus[node] = ep
+        for node in self.layout.accel_nodes:
+            ep = GPUCoreEndpoint(node, self.cfg, self.layout,
+                                 self.gpu_profile, rng)
+            self.net.attach_endpoint(node, ep)
+            self.gpus[node] = ep
+        for node in self.layout.l2_nodes:
+            ep = L2BankEndpoint(node, self.cfg, self.layout, rng)
+            self.net.attach_endpoint(node, ep)
+            self.l2s[node] = ep
+        for node in self.layout.mem_nodes:
+            ep = MemoryControllerEndpoint(node, self.cfg, rng)
+            self.net.attach_endpoint(node, ep)
+            self.mcs[node] = ep
+
+    # ------------------------------------------------------------------
+    def _perf_counters(self):
+        instr = sum(c.instructions_retired for c in self.cpus.values())
+        iters = sum(g.iterations for g in self.gpus.values())
+        return instr, iters
+
+    def run(self, warmup: int = 2000, measure: int = 6000,
+            energy_params: Optional[EnergyParams] = None) -> HeteroResult:
+        self.sim.run(warmup)
+        self.net.reset_stats()
+        self._perf_base = self._perf_counters()
+        self.sim.run(measure)
+        instr, iters = self._perf_counters()
+        instr -= self._perf_base[0]
+        iters -= self._perf_base[1]
+
+        cs_frac = (self.net.cs_flit_fraction()
+                   if hasattr(self.net, "cs_flit_fraction") else 0.0)
+        gpu_flits = sum(
+            self.net.ni(n).counters["flit_injected"]
+            for n in self.layout.accel_nodes)
+        inj = gpu_flits / (max(1, self.net.measured_cycles)
+                           * max(1, len(self.layout.accel_nodes)))
+        return HeteroResult(
+            scheme=self.scheme,
+            cpu_benchmark=self.cpu_name,
+            gpu_benchmark=self.gpu_name,
+            cycles=self.net.measured_cycles,
+            cpu_instructions=instr,
+            gpu_iterations=iters,
+            energy=compute_energy(self.net, energy_params),
+            cs_fraction=cs_frac,
+            avg_pkt_latency=self.net.pkt_latency.mean,
+            gpu_injection_rate=inj,
+        )

@@ -1,0 +1,116 @@
+"""Tile floorplan of the evaluated 36-tile system (Figure 7).
+
+``C``  tile: CPU core + private L1
+``A``  tile: data-parallel accelerator (SIMT SM)
+``L``  tile: one bank of the shared distributed L2
+``M``  tile: memory controller to off-chip DRAM
+
+The default floorplan is symmetric: CPU cores at the corners and centre,
+accelerators ringing the centre, L2 banks interleaved between them and
+the four memory controllers on the east/west edge midpoints — 8 C,
+12 A, 12 L2 and 4 M tiles, matching the paper's system composition.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Sequence
+
+from repro.network.topology import Mesh
+
+
+class TileType(Enum):
+    CPU = "C"
+    ACCEL = "A"
+    L2 = "L"
+    MEM = "M"
+
+
+#: rows listed top (y = 5) to bottom (y = 0)
+FLOORPLAN_6X6: Sequence[str] = (
+    "CLAALC",
+    "LALLAL",
+    "MACCAM",
+    "MACCAM",
+    "LALLAL",
+    "CLAALC",
+)
+
+
+class HeteroLayout:
+    """Node-id lists per tile type for a given floorplan."""
+
+    def __init__(self, mesh: Mesh,
+                 floorplan: Sequence[str] = FLOORPLAN_6X6) -> None:
+        if len(floorplan) != mesh.height or any(
+                len(row) != mesh.width for row in floorplan):
+            raise ValueError("floorplan does not match mesh dimensions")
+        self.mesh = mesh
+        self.tile_of: Dict[int, TileType] = {}
+        self.cpu_nodes: List[int] = []
+        self.accel_nodes: List[int] = []
+        self.l2_nodes: List[int] = []
+        self.mem_nodes: List[int] = []
+        by_char = {t.value: t for t in TileType}
+        for row_idx, row in enumerate(floorplan):
+            y = mesh.height - 1 - row_idx  # first row is the top
+            for x, ch in enumerate(row):
+                node = mesh.node_at(x, y)
+                tile = by_char[ch]
+                self.tile_of[node] = tile
+                {TileType.CPU: self.cpu_nodes,
+                 TileType.ACCEL: self.accel_nodes,
+                 TileType.L2: self.l2_nodes,
+                 TileType.MEM: self.mem_nodes}[tile].append(node)
+
+    # ------------------------------------------------------------------
+    def bank_for_address(self, address: int) -> int:
+        """Static address hash across L2 banks."""
+        return self.l2_nodes[address % len(self.l2_nodes)]
+
+    def mem_for_bank(self, bank_node: int) -> int:
+        """Memory controller serving a bank (nearest by hop count)."""
+        return min(self.mem_nodes,
+                   key=lambda m: (self.mesh.hops(bank_node, m), m))
+
+    def banks_for_accel(self, accel_node: int, fraction: float) -> List[int]:
+        """The L2 banks an accelerator's working set maps to.
+
+        ``fraction`` models per-benchmark communication-pair locality
+        (e.g. LIB touches few banks); the subset is a deterministic
+        rotation so different accelerators favour different banks.
+        """
+        n = len(self.l2_nodes)
+        k = max(1, round(fraction * n))
+        start = (accel_node * 7) % n
+        return [self.l2_nodes[(start + i) % n] for i in range(k)]
+
+
+def default_layout(mesh: Mesh) -> HeteroLayout:
+    if (mesh.width, mesh.height) == (6, 6):
+        return HeteroLayout(mesh, FLOORPLAN_6X6)
+    return HeteroLayout(mesh, _generated_floorplan(mesh))
+
+
+def _generated_floorplan(mesh: Mesh) -> Sequence[str]:
+    """Scaled floorplan for non-6x6 meshes (same type ratios).
+
+    Used by the scalability study: keeps the proportions 2:3:3:1 for
+    C:A:L:M, with memory controllers on the edge midpoints.
+    """
+    w, h = mesh.width, mesh.height
+    rows = []
+    for row_idx in range(h):
+        row = []
+        for x in range(w):
+            y = h - 1 - row_idx
+            if x in (0, w - 1) and y in (h // 2, h // 2 - 1):
+                row.append("M")
+            elif (x + y) % 3 == 0:
+                row.append("C" if (x * y) % 2 == 0 else "L")
+            elif (x + y) % 3 == 1:
+                row.append("A")
+            else:
+                row.append("L")
+        rows.append("".join(row))
+    return tuple(rows)

@@ -1,0 +1,134 @@
+"""Workload profiles for the 8 CPU and 7 GPU benchmarks (Section V-A1).
+
+The paper runs SPEC OMP 2001 applications on the CPU cores and
+GPGPU-Sim/Rodinia kernels on the accelerators.  Without those
+simulators, each benchmark is a parameterised closed-loop model:
+
+* CPU profiles: issue width (IPC), L1 miss rate per instruction,
+  memory-level parallelism (outstanding-miss limit), fraction of misses
+  that block retirement immediately (criticality), and L2 miss ratio.
+  Values reflect the published memory-intensity ranking of SPEC OMP
+  (ART and SWIM memory-bound; WUPWISE and GAFORT compute-bound).
+* GPU profiles: warps per SM, per-warp compute gap between memory
+  requests (derived from the Table-III injection target), store
+  fraction, L2 working-set locality (LIB touches few banks - the paper
+  notes it has fewer communication pairs), and L2 miss ratio.
+
+``gpu.compute_cycles`` is derived so the closed-loop injection rate
+approximates Table III's flits/node/cycle at nominal round-trip latency;
+the Table-III benchmark re-measures the achieved rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: nominal round-trip latency assumed when deriving compute gaps (cycles)
+NOMINAL_ROUND_TRIP = 60
+
+
+@dataclass(frozen=True)
+class CPUWorkloadProfile:
+    name: str
+    ipc: float                 #: retire rate when not stalled
+    miss_rate: float           #: L1 misses per instruction
+    mlp: int                   #: max outstanding misses (MSHRs)
+    crit_fraction: float       #: misses that stall retirement immediately
+    l2_miss_ratio: float       #: fraction of L2 accesses going to memory
+    store_fraction: float = 0.3  #: misses that also write a line back
+
+
+@dataclass(frozen=True)
+class GPUWorkloadProfile:
+    name: str
+    inj_target: float          #: Table III flits/node/cycle
+    warps: int = 32            #: schedulable warps per SM (Table II: 1024
+    #                             threads / 32-wide SIMD)
+    store_fraction: float = 0.25
+    bank_fraction: float = 0.5  #: share of L2 banks in the working set
+    l2_miss_ratio: float = 0.25
+    slack_per_warp: int = 2     #: extra-latency cycles hidden per
+    #                              available warp (decision slack)
+
+    @property
+    def flits_per_request(self) -> float:
+        """NI-injected flits per warp iteration (request + stores)."""
+        return 1.0 + self.store_fraction * 5.0
+
+    @property
+    def compute_cycles(self) -> int:
+        """Per-warp compute gap hitting ``inj_target`` at nominal RTT."""
+        period = self.warps * self.flits_per_request / self.inj_target
+        return max(1, int(period - NOMINAL_ROUND_TRIP))
+
+
+# ---------------------------------------------------------------------------
+# SPEC OMP 2001 CPU benchmarks (Section V-A1)
+# ---------------------------------------------------------------------------
+CPU_BENCHMARKS: Dict[str, CPUWorkloadProfile] = {
+    "AMMP":    CPUWorkloadProfile("AMMP",    ipc=1.6, miss_rate=0.006,
+                                  mlp=8, crit_fraction=0.25,
+                                  l2_miss_ratio=0.15),
+    "APPLU":   CPUWorkloadProfile("APPLU",   ipc=1.8, miss_rate=0.010,
+                                  mlp=8, crit_fraction=0.20,
+                                  l2_miss_ratio=0.25),
+    "ART":     CPUWorkloadProfile("ART",     ipc=1.2, miss_rate=0.030,
+                                  mlp=8, crit_fraction=0.35,
+                                  l2_miss_ratio=0.45),
+    "EQUAKE":  CPUWorkloadProfile("EQUAKE",  ipc=1.5, miss_rate=0.015,
+                                  mlp=8, crit_fraction=0.30,
+                                  l2_miss_ratio=0.30),
+    "GAFORT":  CPUWorkloadProfile("GAFORT",  ipc=2.0, miss_rate=0.004,
+                                  mlp=8, crit_fraction=0.15,
+                                  l2_miss_ratio=0.10),
+    "MGRID":   CPUWorkloadProfile("MGRID",   ipc=1.7, miss_rate=0.012,
+                                  mlp=8, crit_fraction=0.20,
+                                  l2_miss_ratio=0.35),
+    "SWIM":    CPUWorkloadProfile("SWIM",    ipc=1.3, miss_rate=0.025,
+                                  mlp=8, crit_fraction=0.30,
+                                  l2_miss_ratio=0.50),
+    "WUPWISE": CPUWorkloadProfile("WUPWISE", ipc=2.2, miss_rate=0.003,
+                                  mlp=8, crit_fraction=0.10,
+                                  l2_miss_ratio=0.10),
+}
+
+# ---------------------------------------------------------------------------
+# GPU benchmarks with Table-III injection targets (flits/node/cycle)
+# ---------------------------------------------------------------------------
+GPU_BENCHMARKS: Dict[str, GPUWorkloadProfile] = {
+    "BLACKSCHOLES": GPUWorkloadProfile("BLACKSCHOLES", inj_target=0.18,
+                                       store_fraction=0.30,
+                                       bank_fraction=0.45,
+                                       l2_miss_ratio=0.20),
+    "HOTSPOT":      GPUWorkloadProfile("HOTSPOT", inj_target=0.09,
+                                       store_fraction=0.25,
+                                       bank_fraction=0.50,
+                                       l2_miss_ratio=0.25),
+    "LIB":          GPUWorkloadProfile("LIB", inj_target=0.20,
+                                       store_fraction=0.20,
+                                       bank_fraction=0.20,
+                                       l2_miss_ratio=0.30),
+    "LPS":          GPUWorkloadProfile("LPS", inj_target=0.20,
+                                       store_fraction=0.30,
+                                       bank_fraction=0.45,
+                                       l2_miss_ratio=0.25),
+    "NN":           GPUWorkloadProfile("NN", inj_target=0.18,
+                                       store_fraction=0.25,
+                                       bank_fraction=0.55,
+                                       l2_miss_ratio=0.20),
+    "PATHFINDER":   GPUWorkloadProfile("PATHFINDER", inj_target=0.13,
+                                       store_fraction=0.25,
+                                       bank_fraction=0.50,
+                                       l2_miss_ratio=0.30),
+    "STO":          GPUWorkloadProfile("STO", inj_target=0.05,
+                                       store_fraction=0.20,
+                                       bank_fraction=0.60,
+                                       l2_miss_ratio=0.15),
+}
+
+
+def workload_mixes() -> List[Tuple[str, str]]:
+    """All 56 CPU x GPU combinations (Section V-A1), grouped by GPU
+    benchmark as in Figure 8's x-axis."""
+    return [(cpu, gpu) for gpu in GPU_BENCHMARKS for cpu in CPU_BENCHMARKS]

@@ -1,0 +1,46 @@
+"""Packet-switched NoC substrate (S2-S4).
+
+Topology, links, credit-based virtual-channel buffers, routing functions,
+the canonical VC wormhole router, the network interface, and the network
+builder that wires a full mesh together.
+"""
+
+from repro.network.flit import (
+    Flit,
+    FlitKind,
+    Message,
+    MessageClass,
+    Packet,
+    ConfigPayload,
+    ConfigType,
+)
+from repro.network.topology import (
+    LOCAL,
+    NORTH,
+    EAST,
+    SOUTH,
+    WEST,
+    PORT_NAMES,
+    NUM_PORTS,
+    Mesh,
+    opposite_port,
+)
+from repro.network.routing import xy_outport, oe_candidate_outports, hops
+from repro.network.link import FlitLink, CreditLink
+from repro.network.buffers import VirtualChannel, InputPort
+from repro.network.router import PacketRouter
+from repro.network.interface import NetworkInterface, Endpoint
+from repro.network.network import Network, build_network
+
+__all__ = [
+    "Flit", "FlitKind", "Message", "MessageClass", "Packet",
+    "ConfigPayload", "ConfigType",
+    "LOCAL", "NORTH", "EAST", "SOUTH", "WEST", "PORT_NAMES", "NUM_PORTS",
+    "Mesh", "opposite_port",
+    "xy_outport", "oe_candidate_outports", "hops",
+    "FlitLink", "CreditLink",
+    "VirtualChannel", "InputPort",
+    "PacketRouter",
+    "NetworkInterface", "Endpoint",
+    "Network", "build_network",
+]

@@ -1,0 +1,89 @@
+"""Virtual-channel input buffers.
+
+Each router input port owns ``num_vcs`` data virtual channels plus one
+dedicated configuration VC (the escape channel for adaptive-routed
+circuit-configuration packets).  A :class:`VirtualChannel` tracks the
+wormhole state of the packet at its head: the route output port chosen at
+RC time and the downstream VC granted at VA time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.network.flit import Flit
+
+
+class VirtualChannel:
+    """One FIFO virtual channel with wormhole routing state."""
+
+    __slots__ = ("depth", "fifo", "route_outport", "out_vc", "powered")
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("VC depth must be >= 1")
+        self.depth = depth
+        self.fifo: Deque[Flit] = deque()
+        self.route_outport: Optional[int] = None  # set at RC (head flit)
+        self.out_vc: Optional[int] = None         # set at VA (head flit)
+        self.powered = True                       # VC power gating state
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def free_slots(self) -> int:
+        return self.depth - len(self.fifo)
+
+    @property
+    def busy(self) -> bool:
+        """Occupied or still holding a downstream VC (mid-packet)."""
+        return bool(self.fifo) or self.out_vc is not None
+
+    def push(self, flit: Flit) -> None:
+        if len(self.fifo) >= self.depth:
+            raise OverflowError("VC buffer overflow: credit protocol violated")
+        self.fifo.append(flit)
+
+    def front(self) -> Optional[Flit]:
+        return self.fifo[0] if self.fifo else None
+
+    def pop(self) -> Flit:
+        return self.fifo.popleft()
+
+    def clear_route(self) -> None:
+        self.route_outport = None
+        self.out_vc = None
+
+
+class InputPort:
+    """All virtual channels of one router input port.
+
+    VC indices ``0 .. num_vcs-1`` are data VCs; index ``num_vcs`` is the
+    configuration escape VC.
+    """
+
+    __slots__ = ("num_vcs", "vcs", "config_vc_index")
+
+    def __init__(self, num_vcs: int, vc_depth: int, config_vc_depth: int) -> None:
+        self.num_vcs = num_vcs
+        self.vcs: List[VirtualChannel] = [
+            VirtualChannel(vc_depth) for _ in range(num_vcs)
+        ]
+        self.vcs.append(VirtualChannel(config_vc_depth))
+        self.config_vc_index = num_vcs
+
+    @property
+    def total_vcs(self) -> int:
+        return len(self.vcs)
+
+    def data_vcs(self):
+        """Iterate (index, vc) over data VCs only."""
+        for i in range(self.num_vcs):
+            yield i, self.vcs[i]
+
+    def occupancy(self) -> int:
+        return sum(vc.occupancy for vc in self.vcs)

@@ -1,0 +1,290 @@
+"""Network interface (NI) and endpoint abstraction (S4).
+
+The NI packetises endpoint messages, injects flits into its router's
+local input port under credit flow control (acting exactly like an
+upstream router), reassembles arriving packets and delivers completed
+messages to the endpoint.
+
+Configuration packets (circuit setup acknowledgements) terminating at
+this node are routed to the attached ``config_handler`` (the connection
+manager) instead of the endpoint.
+
+Vicinity-sharing hop-off (Section III-A2) also lands here: a packet whose
+message carries ``final_dst != this node`` is re-injected towards its
+true destination through the packet-switched network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.config import NetworkConfig
+from repro.network.flit import Flit, Message, MessageClass, Packet
+from repro.network.link import CreditLink, FlitLink
+from repro.network.topology import LOCAL
+from repro.sim.kernel import SimObject
+from repro.sim.stats import Counter
+
+
+class Endpoint:
+    """Base class for traffic sources/sinks attached to an NI.
+
+    Subclasses override :meth:`tick` to generate messages (via
+    ``self.ni.send``) and :meth:`on_message` to consume deliveries.
+    """
+
+    def __init__(self) -> None:
+        self.ni: Optional["NetworkInterface"] = None
+
+    def attach(self, ni: "NetworkInterface") -> None:
+        self.ni = ni
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_message(self, msg: Message, cycle: int) -> None:  # pragma: no cover
+        pass
+
+
+class NetworkInterface(SimObject):
+    """Packet-switched network interface for one node."""
+
+    def __init__(self, node: int, cfg: NetworkConfig) -> None:
+        self.node = node
+        self.cfg = cfg
+        self.endpoint: Optional[Endpoint] = None
+        self.config_handler: Optional[Callable[[object, int], None]] = None
+
+        num_vcs = cfg.router.num_vcs
+        self.total_vcs = num_vcs + 1
+        self.config_vc = num_vcs
+
+        # wiring (set by builder)
+        self.inject_link: Optional[FlitLink] = None   # NI -> router local in
+        self.eject_link: Optional[FlitLink] = None    # router local out -> NI
+        self.credit_in: Optional[CreditLink] = None   # router -> NI credits
+        self.router = None
+
+        # NI-side mirror of the router's local input port state
+        self.local_credits: List[int] = (
+            [cfg.router.vc_depth] * num_vcs + [cfg.router.config_vc_depth]
+        )
+        self.vc_in_use: List[Optional[Deque[Flit]]] = [None] * self.total_vcs
+
+        #: FIFO of (packet, prebuilt-flits-or-None) awaiting an injection VC
+        self.ps_queue: Deque = deque()
+
+        self.counters = Counter()
+        self.sent_messages = 0
+        self.received_messages = 0
+        #: EWMA of packet-switched network latency for packets this node
+        #: sourced (feedback for the switching decision, Section II-A)
+        self.ps_latency_ewma = 0.0
+        self.cs_latency_ewma = 0.0
+        self._ewma_alpha = 0.05
+        #: optional observer called with (packet, cycle) on packet ejection
+        self.on_packet_ejected: Optional[Callable] = None
+        #: optional observer called with (message, cycle) on delivery
+        self.on_message_delivered: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # message API
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Queue *msg* for packet-switched injection."""
+        self.enqueue_ps(msg)
+
+    def enqueue_ps(self, msg: Message, size_kind: Optional[str] = None) -> None:
+        if size_kind is None:
+            size_kind = {
+                MessageClass.DATA: "ps_data",
+                MessageClass.CTRL: "ctrl",
+                MessageClass.CONFIG: "config",
+            }[msg.mclass]
+        size = self.cfg.packet_size(size_kind)
+        pkt = Packet(msg, src=self.node, dst=msg.dst, size=size, circuit=False)
+        self.ps_queue.append((pkt, None))
+        self.sent_messages += 1
+
+    def enqueue_stream(self, pkt: Packet, flits: Deque[Flit]) -> None:
+        """Queue pre-built flits for packet-switched injection (used for
+        circuit-switched fallback after a sharing contention).
+
+        The stream is re-framed as a well-formed wormhole packet: the
+        first flit becomes the head, the last the tail (flit kinds are a
+        framing concern; reassembly is count-based).
+        """
+        from repro.network.flit import FlitKind
+        for f in flits:
+            f.is_circuit = False
+            f.kind = FlitKind.BODY
+        if len(flits) == 1:
+            flits[0].kind = FlitKind.HEAD_TAIL
+        else:
+            flits[0].kind = FlitKind.HEAD
+            flits[-1].kind = FlitKind.TAIL
+        self.ps_queue.append((pkt, flits))
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def inject(self, cycle: int) -> None:
+        self._drain_credits(cycle)
+        self._drain_ejections(cycle)
+        if self.endpoint is not None:
+            self.endpoint.tick(cycle)
+        self._pre_pump(cycle)
+        self._pump_injection(cycle)
+
+    def _pre_pump(self, cycle: int) -> None:
+        """Hook for the hybrid NI: switching decision + circuit queues."""
+
+    # ------------------------------------------------------------------
+    def _drain_credits(self, cycle: int) -> None:
+        if self.credit_in is not None:
+            for vc in self.credit_in.arrivals(cycle):
+                self.local_credits[vc] += 1
+
+    def _drain_ejections(self, cycle: int) -> None:
+        if self.eject_link is None:
+            return
+        for flit in self.eject_link.arrivals(cycle):
+            self._receive_flit(flit, cycle)
+
+    def _receive_flit(self, flit: Flit, cycle: int) -> None:
+        pkt = flit.packet
+        self.counters.inc("cs_flit_ejected" if flit.is_circuit
+                          else "ps_flit_ejected")
+        pkt.flits_received += 1
+        if pkt.flits_received < pkt.size:
+            return
+        pkt.eject_cycle = cycle
+        if self.on_packet_ejected is not None:
+            self.on_packet_ejected(pkt, cycle)
+        self._packet_complete(pkt, cycle)
+
+    def _packet_complete(self, pkt: Packet, cycle: int) -> None:
+        msg = pkt.msg
+        if msg.mclass == MessageClass.CONFIG:
+            if self.config_handler is not None:
+                self.config_handler(msg.payload, cycle)
+            return
+        if msg.final_dst != self.node:
+            # vicinity hop-off: continue through the PS network
+            self._hop_off(msg, cycle)
+            return
+        self.received_messages += 1
+        if self.on_message_delivered is not None:
+            self.on_message_delivered(msg, cycle)
+        if self.endpoint is not None:
+            self.endpoint.on_message(msg, cycle)
+
+    def _hop_off(self, msg: Message, cycle: int) -> None:
+        hop = Message(src=self.node, dst=msg.final_dst, mclass=msg.mclass,
+                      size_flits=msg.size_flits, create_cycle=msg.create_cycle)
+        # preserve identity so latency is charged to the original message
+        hop.id = msg.id
+        hop.final_dst = msg.final_dst
+        hop.payload = msg.payload
+        hop.meta = msg.meta
+        self.counters.inc("vicinity_hop_off")
+        self.enqueue_ps(hop)
+        self.sent_messages -= 1  # the hop-off leg is not a new message
+
+    # ------------------------------------------------------------------
+    # injection pump
+    # ------------------------------------------------------------------
+    def _pump_injection(self, cycle: int) -> None:
+        # grab a free VC for the packet at the head of the queue
+        if self.ps_queue:
+            head_pkt, prebuilt = self.ps_queue[0]
+            vc = self._allocate_injection_vc(head_pkt)
+            if vc is not None:
+                self.ps_queue.popleft()
+                flits = prebuilt if prebuilt is not None \
+                    else deque(head_pkt.make_flits())
+                for f in flits:
+                    f.vc = vc
+                self.vc_in_use[vc] = flits
+                if head_pkt.inject_cycle is None:
+                    head_pkt.inject_cycle = cycle
+        # stream at most one flit per cycle into the injection link
+        # (the local input port is one physical channel)
+        sent = False
+        for vc in self._injection_vc_order(cycle):
+            stream = self.vc_in_use[vc]
+            if stream is None:
+                continue
+            if self.local_credits[vc] <= 0:
+                continue
+            flit = stream.popleft()
+            self.local_credits[vc] -= 1
+            self.inject_link.send(flit, cycle)
+            self.counters.inc("flit_injected")
+            if not stream:
+                self.vc_in_use[vc] = None
+            sent = True
+            break
+        if sent:
+            return
+
+    def _injection_vc_order(self, cycle: int) -> List[int]:
+        # config VC first (setup/ack messages are latency critical and
+        # account for <1% of traffic), then data VCs round-robin
+        order = [self.config_vc]
+        n = self.cfg.router.num_vcs
+        start = cycle % n if n else 0
+        order.extend(((start + i) % n) for i in range(n))
+        return order
+
+    def _allocate_injection_vc(self, pkt: Packet) -> Optional[int]:
+        if pkt.mclass == MessageClass.CONFIG:
+            vc = self.config_vc
+            return vc if self.vc_in_use[vc] is None else None
+        limit = self.router.active_vcs if self.router is not None \
+            else self.cfg.router.num_vcs
+        for vc in range(limit):
+            if self.vc_in_use[vc] is None:
+                return vc
+        return None
+
+    # ------------------------------------------------------------------
+    def note_ps_latency(self, latency: float) -> None:
+        """Feed back the observed latency of a PS packet this node sent."""
+        if self.ps_latency_ewma == 0.0:
+            self.ps_latency_ewma = latency
+        else:
+            a = self._ewma_alpha
+            self.ps_latency_ewma += a * (latency - self.ps_latency_ewma)
+
+    def note_cs_latency(self, latency: float) -> None:
+        """Feed back the observed *transit* latency (slot wait excluded —
+        packets are stamped at their reserved departure cycle) of a
+        circuit-switched packet this node sent."""
+        if self.cs_latency_ewma == 0.0:
+            self.cs_latency_ewma = latency
+        else:
+            a = self._ewma_alpha
+            self.cs_latency_ewma += a * (latency - self.cs_latency_ewma)
+
+    @property
+    def ps_backlog_flits(self) -> int:
+        """Flits waiting on the packet-switched injection path (the
+        queueing-delay proxy used by the switching decision)."""
+        n = 0
+        for pkt, prebuilt in self.ps_queue:
+            n += pkt.size if prebuilt is None else len(prebuilt)
+        for s in self.vc_in_use:
+            if s is not None:
+                n += len(s)
+        return n
+
+    @property
+    def pending_flits(self) -> int:
+        """Flits queued or streaming at this NI (for drain checks)."""
+        n = 0
+        for pkt, prebuilt in self.ps_queue:
+            n += pkt.size if prebuilt is None else len(prebuilt)
+        n += sum(len(s) for s in self.vc_in_use if s is not None)
+        return n

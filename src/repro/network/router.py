@@ -1,0 +1,372 @@
+"""Canonical virtual-channel wormhole router (S3).
+
+Pipeline model (per Section II-D, "packet-switched flits traverse through
+the router pipeline"):
+
+* cycle ``t``   — buffer write (BW) of an arriving flit
+* cycle ``t+p`` — earliest route-compute / VC-allocation / switch-
+  allocation eligibility, where ``p = ps_pipeline_latency`` (default 2,
+  modelling the classic BW/RC -> VA/SA stages)
+* switch traversal happens in the cycle the flit wins SA; together with
+  one link cycle the flit reaches the downstream router two cycles after
+  its SA win (see :mod:`repro.network.link`).
+
+Flow control is credit-based per (output port, VC).  Wormhole semantics:
+an output VC is held by an input VC from head-flit VA until the tail flit
+leaves switch traversal.
+
+Routing: X-Y for data/control packets; minimal adaptive (odd-even turn
+model) on a dedicated escape VC for configuration packets.
+
+The router exposes the extension points the TDM hybrid router overrides:
+``_demux_arrival`` (slot-table demultiplexer), ``_out_blocked_for_ps``
+(reserved-slot / time-slot-stealing check) and ``_compute_route``
+(configuration-message processing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import NetworkConfig
+from repro.network.buffers import InputPort
+from repro.network.flit import Flit, MessageClass
+from repro.network.link import CreditLink, FlitLink
+from repro.network.routing import oe_candidate_outports, xy_outport
+from repro.network.topology import LOCAL, Mesh, NUM_PORTS
+from repro.sim.kernel import SimObject
+from repro.sim.stats import Counter, TimeWeighted
+
+#: effectively-infinite credits for the ejection port (the NI always sinks)
+EJECT_CREDITS = 1 << 30
+
+
+class PacketRouter(SimObject):
+    """One mesh router with 5 ports x (num_vcs data + 1 config) VCs."""
+
+    def __init__(self, node: int, cfg: NetworkConfig, mesh: Mesh) -> None:
+        self.node = node
+        self.cfg = cfg
+        self.rcfg = cfg.router
+        self.mesh = mesh
+
+        v = self.rcfg.num_vcs
+        self.total_vcs = v + 1  # + config escape VC
+        self.config_vc = v
+
+        self.in_ports: List[InputPort] = [
+            InputPort(v, self.rcfg.vc_depth, self.rcfg.config_vc_depth)
+            for _ in range(NUM_PORTS)
+        ]
+        # wiring, filled in by the network builder
+        self.in_links: List[Optional[FlitLink]] = [None] * NUM_PORTS
+        self.out_links: List[Optional[FlitLink]] = [None] * NUM_PORTS
+        self.credit_out: List[Optional[CreditLink]] = [None] * NUM_PORTS
+        self.credit_in: List[Optional[CreditLink]] = [None] * NUM_PORTS
+        self.downstream: List[Optional[object]] = [None] * NUM_PORTS
+
+        # credits towards downstream buffers, per (outport, vc)
+        self.credits: List[List[int]] = [
+            [0] * self.total_vcs for _ in range(NUM_PORTS)
+        ]
+        # which (inport, invc) holds each downstream VC
+        self.out_vc_owner: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * self.total_vcs for _ in range(NUM_PORTS)
+        ]
+
+        # VC power gating state (Section III-B); 'active' is the number of
+        # data VCs advertised to upstream allocators, 'powered' the number
+        # whose leakage is currently paid (>= active while draining).
+        self.active_vcs = v
+        self.powered_vcs = v
+        self.vc_power_integral = TimeWeighted(v, 0)
+        self.gating = None  # attached by the network builder when enabled
+
+        self._sa_ptr = [0] * NUM_PORTS   # round-robin pointers per outport
+        self._arrivals: List[List[Flit]] = [[] for _ in range(NUM_PORTS)]
+        self.counters = Counter()
+        self._busy_accum = 0.0           # busy-VC integral for gating epochs
+        self._busy_samples = 0
+        self._qdelay_accum = 0.0         # per-flit queueing delay (gating)
+        self._qdelay_samples = 0
+        self._buffered_flits = 0         # fast-path guard: skip VA/SA
+        #                                  loops when nothing is buffered
+        self.rng = None  # set by builder (shared simulator generator)
+
+    # ------------------------------------------------------------------
+    # wiring helpers (used by the network builder)
+    # ------------------------------------------------------------------
+    def connect_input(self, inport: int, link: FlitLink,
+                      credit_back: Optional[CreditLink]) -> None:
+        self.in_links[inport] = link
+        self.credit_out[inport] = credit_back
+
+    def connect_output(self, outport: int, link: FlitLink,
+                       credit_from: Optional[CreditLink],
+                       downstream: Optional[object],
+                       downstream_depth: int,
+                       downstream_config_depth: int) -> None:
+        self.out_links[outport] = link
+        self.credit_in[outport] = credit_from
+        self.downstream[outport] = downstream
+        if outport == LOCAL:
+            self.credits[outport] = [EJECT_CREDITS] * self.total_vcs
+        else:
+            self.credits[outport] = (
+                [downstream_depth] * self.rcfg.num_vcs
+                + [downstream_config_depth]
+            )
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def deliver(self, cycle: int) -> None:
+        """Drain credit returns and stage arriving flits."""
+        for outport in range(NUM_PORTS):
+            clink = self.credit_in[outport]
+            if clink is not None:
+                for vc in clink.arrivals(cycle):
+                    self.credits[outport][vc] += 1
+        for inport in range(NUM_PORTS):
+            flink = self.in_links[inport]
+            if flink is not None:
+                flits = flink.arrivals(cycle)
+                if flits:
+                    self._arrivals[inport].extend(flits)
+
+    def transfer(self, cycle: int) -> None:
+        self._process_arrivals(cycle)
+        if self._buffered_flits:
+            self._route_and_va(cycle)
+            self._sa_st(cycle)
+        if self.gating is not None:
+            self._sample_utilisation()
+
+    def control(self, cycle: int) -> None:
+        if self.gating is not None:
+            self.gating.tick(cycle)
+
+    # ------------------------------------------------------------------
+    # arrival handling
+    # ------------------------------------------------------------------
+    def _process_arrivals(self, cycle: int) -> None:
+        for inport in range(NUM_PORTS):
+            staged = self._arrivals[inport]
+            if not staged:
+                continue
+            for flit in staged:
+                self._demux_arrival(inport, flit, cycle)
+            staged.clear()
+
+    def _demux_arrival(self, inport: int, flit: Flit, cycle: int) -> None:
+        """Hook: the hybrid router diverts circuit-switched flits here."""
+        self._buffer_write(inport, flit, cycle)
+
+    def _buffer_write(self, inport: int, flit: Flit, cycle: int) -> None:
+        vcobj = self.in_ports[inport].vcs[flit.vc]
+        vcobj.push(flit)
+        flit.ready_cycle = cycle + self.rcfg.ps_pipeline_latency
+        self._buffered_flits += 1
+        self.counters.inc("buffer_write")
+
+    # ------------------------------------------------------------------
+    # route compute + VC allocation
+    # ------------------------------------------------------------------
+    def _route_and_va(self, cycle: int) -> None:
+        for inport in range(NUM_PORTS):
+            for invc, vcobj in enumerate(self.in_ports[inport].vcs):
+                if vcobj.out_vc is not None or not vcobj.fifo:
+                    continue
+                head = vcobj.fifo[0]
+                if not head.is_head or cycle < head.ready_cycle:
+                    continue
+                if vcobj.route_outport is None:
+                    out = self._compute_route(inport, head, cycle)
+                    if out is None:  # packet consumed (config processing)
+                        vcobj.pop()
+                        self._buffered_flits -= 1
+                        self._return_credit(inport, invc, cycle)
+                        continue
+                    vcobj.route_outport = out
+                ovc = self._allocate_out_vc(
+                    vcobj.route_outport, invc == self.in_ports[inport].config_vc_index
+                )
+                if ovc is not None:
+                    vcobj.out_vc = ovc
+                    self.out_vc_owner[vcobj.route_outport][ovc] = (inport, invc)
+                    self.counters.inc("vc_arb")
+
+    def _compute_route(self, inport: int, head: Flit,
+                       cycle: int) -> Optional[int]:
+        """Choose the output port for *head*'s packet at this router.
+
+        Returns None when the packet is consumed here (only happens for
+        configuration messages in the hybrid router override).
+        """
+        pkt = head.packet
+        if pkt.mclass == MessageClass.CONFIG:
+            return self._route_adaptive(pkt)
+        return xy_outport(self.mesh, self.node, pkt.dst)
+
+    def _route_adaptive(self, pkt) -> int:
+        """Minimal adaptive (odd-even) selection by downstream credit."""
+        cands = oe_candidate_outports(self.mesh, self.node, pkt.src, pkt.dst)
+        if len(cands) == 1:
+            return cands[0]
+        best, best_free = cands[0], -1
+        for out in cands:
+            free = sum(self.credits[out])
+            if free > best_free:
+                best, best_free = out, free
+        return best
+
+    def _downstream_active_vcs(self, outport: int) -> int:
+        if outport == LOCAL:
+            return self.rcfg.num_vcs
+        ds = self.downstream[outport]
+        return ds.active_vcs if ds is not None else self.rcfg.num_vcs
+
+    def _allocate_out_vc(self, outport: int, is_config: bool) -> Optional[int]:
+        owners = self.out_vc_owner[outport]
+        if is_config:
+            ovc = self.config_vc
+            return ovc if owners[ovc] is None else None
+        limit = self._downstream_active_vcs(outport)
+        for ovc in range(limit):
+            if owners[ovc] is None:
+                return ovc
+        return None
+
+    # ------------------------------------------------------------------
+    # switch allocation + traversal
+    # ------------------------------------------------------------------
+    def _out_blocked_for_ps(self, outport: int, cycle: int) -> bool:
+        """Hook: hybrid router blocks outputs claimed by circuit flits."""
+        return False
+
+    def _sa_st(self, cycle: int) -> None:
+        used_in = self._cs_used_inports(cycle)
+        for outport in range(NUM_PORTS):
+            if self.out_links[outport] is None:
+                continue
+            if self._out_blocked_for_ps(outport, cycle):
+                continue
+            winner = self._sa_pick(outport, used_in, cycle)
+            if winner is None:
+                continue
+            inport, invc, ovc = winner
+            used_in[inport] = True
+            self._traverse(outport, inport, invc, ovc, cycle)
+
+    def _cs_used_inports(self, cycle: int) -> List[bool]:
+        """Hook: input ports whose crossbar input a circuit-switched flit
+        consumed this cycle (the hybrid router overrides this)."""
+        return [False] * NUM_PORTS
+
+    def _sa_pick(self, outport: int, used_in: List[bool],
+                 cycle: int) -> Optional[Tuple[int, int, int]]:
+        owners = self.out_vc_owner[outport]
+        credits = self.credits[outport]
+        candidates: List[Tuple[int, int, int]] = []
+        for ovc in range(self.total_vcs):
+            owner = owners[ovc]
+            if owner is None or credits[ovc] <= 0:
+                continue
+            inport, invc = owner
+            if used_in[inport]:
+                continue
+            vcobj = self.in_ports[inport].vcs[invc]
+            flit = vcobj.front()
+            if flit is None or cycle < flit.ready_cycle:
+                continue
+            candidates.append((inport, invc, ovc))
+        if not candidates:
+            return None
+        self.counters.inc("sw_arb")
+        if len(candidates) == 1:
+            return candidates[0]
+        ptr = self._sa_ptr[outport]
+        key = lambda c: (c[0] * self.total_vcs + c[1] - ptr) % (
+            NUM_PORTS * self.total_vcs)
+        winner = min(candidates, key=key)
+        self._sa_ptr[outport] = winner[0] * self.total_vcs + winner[1] + 1
+        return winner
+
+    def _traverse(self, outport: int, inport: int, invc: int, ovc: int,
+                  cycle: int) -> None:
+        vcobj = self.in_ports[inport].vcs[invc]
+        flit = vcobj.pop()
+        self._buffered_flits -= 1
+        self.counters.inc("buffer_read")
+        self.counters.inc("xbar")
+        if self.gating is not None:
+            # in-router residency beyond the pipeline minimum: the
+            # queue-delay gating metric (Section V-B4 variant)
+            wait = cycle - flit.ready_cycle
+            self._qdelay_accum += max(0, wait)
+            self._qdelay_samples += 1
+        self._return_credit(inport, invc, cycle)
+        flit.vc = ovc
+        if outport != LOCAL:
+            self.credits[outport][ovc] -= 1
+            self.counters.inc("link")
+        flit.packet.hops_taken += 1
+        if flit.is_tail:
+            self.out_vc_owner[outport][ovc] = None
+            vcobj.clear_route()
+        self.out_links[outport].send(flit, cycle)
+
+    def _return_credit(self, inport: int, invc: int, cycle: int) -> None:
+        clink = self.credit_out[inport]
+        if clink is not None:
+            clink.send(invc, cycle)
+
+    # ------------------------------------------------------------------
+    # VC power gating support (controller lives in repro.core.vc_gating)
+    # ------------------------------------------------------------------
+    def _sample_utilisation(self) -> None:
+        busy = 0
+        total = 0
+        for port in self.in_ports:
+            for i in range(self.active_vcs):
+                total += 1
+                if port.vcs[i].busy:
+                    busy += 1
+        if total:
+            self._busy_accum += busy / total
+        self._busy_samples += 1
+
+    def pop_utilisation(self) -> float:
+        """Mean busy fraction since the last call (gating epoch metric)."""
+        util = self._busy_accum / self._busy_samples if self._busy_samples else 0.0
+        self._busy_accum = 0.0
+        self._busy_samples = 0
+        return util
+
+    def pop_queue_delay(self) -> float:
+        """Mean per-flit queueing delay since the last call (cycles)."""
+        delay = self._qdelay_accum / self._qdelay_samples \
+            if self._qdelay_samples else 0.0
+        self._qdelay_accum = 0.0
+        self._qdelay_samples = 0
+        return delay
+
+    def vc_drainable(self, index: int) -> bool:
+        """True when data VC *index* is empty and unowned on every port,
+        and no downstream VC *index* of ours is still held by anyone."""
+        for port in self.in_ports:
+            if port.vcs[index].busy:
+                return False
+        for outport in range(NUM_PORTS):
+            if self.out_vc_owner[outport][index] is not None:
+                return False
+        return True
+
+    def set_powered_vcs(self, n: int, cycle: int) -> None:
+        self.powered_vcs = n
+        self.vc_power_integral.set(n, cycle)
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Total buffered flits (used by drain checks and tests)."""
+        return sum(p.occupancy() for p in self.in_ports)

@@ -1,0 +1,84 @@
+"""2D mesh topology and port numbering.
+
+Node ids are ``y * width + x`` with x growing east and y growing north.
+Router ports: 0=Local, 1=North, 2=East, 3=South, 4=West.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+LOCAL, NORTH, EAST, SOUTH, WEST = 0, 1, 2, 3, 4
+NUM_PORTS = 5
+PORT_NAMES = ("Local", "North", "East", "South", "West")
+
+_OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+
+
+def opposite_port(port: int) -> int:
+    """The port on the neighbouring router that faces *port*."""
+    try:
+        return _OPPOSITE[port]
+    except KeyError:
+        raise ValueError(f"port {port} has no opposite (local?)") from None
+
+
+class Mesh:
+    """Coordinate helpers for a ``width x height`` 2D mesh."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+
+    # ------------------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, int]:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} outside mesh")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside mesh")
+        return y * self.width + x
+
+    def neighbor(self, node: int, port: int) -> Optional[int]:
+        """Node reached through *port*, or None at a mesh edge."""
+        x, y = self.coords(node)
+        if port == NORTH:
+            return self.node_at(x, y + 1) if y + 1 < self.height else None
+        if port == SOUTH:
+            return self.node_at(x, y - 1) if y - 1 >= 0 else None
+        if port == EAST:
+            return self.node_at(x + 1, y) if x + 1 < self.width else None
+        if port == WEST:
+            return self.node_at(x - 1, y) if x - 1 >= 0 else None
+        raise ValueError(f"no neighbour through port {port}")
+
+    def neighbors(self, node: int) -> List[int]:
+        """All mesh neighbours of *node* (the vicinity-sharing candidates)."""
+        out = []
+        for port in (NORTH, EAST, SOUTH, WEST):
+            n = self.neighbor(node, port)
+            if n is not None:
+                out.append(n)
+        return out
+
+    def ports(self, node: int) -> Iterator[int]:
+        """Yield the non-local ports that have a neighbour at *node*."""
+        for port in (NORTH, EAST, SOUTH, WEST):
+            if self.neighbor(node, port) is not None:
+                yield port
+
+    def hops(self, a: int, b: int) -> int:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.hops(a, b) == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mesh({self.width}x{self.height})"

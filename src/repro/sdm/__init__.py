@@ -1,0 +1,30 @@
+"""SDM-based hybrid-switched NoC baseline (S12).
+
+Reimplementation of the space-division-multiplexed hybrid switching of
+Jerger et al. ("Circuit-switched coherence", NOCS 2008), the comparison
+point of Section IV:
+
+* every link is physically partitioned into ``planes`` slices (default 4
+  slices of 4 bytes from the 16-byte channel);
+* a circuit reserves one plane end-to-end; circuit flits cross each
+  router in a single cycle on their plane with no buffering;
+* packet-switched packets are confined to a single plane, so a 64-byte
+  message serialises into 16 narrow flits plus head — the serialisation
+  and intra-router contention penalty the paper's Section IV analyses;
+* packet flits may steal a reserved plane's idle cycles (circuit flits
+  always have priority).
+"""
+
+from repro.sdm.router import SDMRouter, sdm_packet_size
+from repro.sdm.ni import SDMNetworkInterface
+from repro.sdm.manager import SDMConnectionManager
+from repro.sdm.network import SDMNetwork, build_sdm_network
+
+__all__ = [
+    "SDMRouter",
+    "sdm_packet_size",
+    "SDMNetworkInterface",
+    "SDMConnectionManager",
+    "SDMNetwork",
+    "build_sdm_network",
+]

@@ -1,0 +1,83 @@
+"""Connection manager for the SDM hybrid baseline (S12).
+
+Reuses the frequency-trigger / setup / ack / teardown machinery of the
+TDM :class:`~repro.core.circuit.ConnectionManager`; only the resource
+being reserved differs: a *plane* end-to-end instead of time slots, so
+there is no slot wait (SDM's latency advantage at low load) but the
+number of circuits per link is capped at the plane count (SDM's
+scalability limit)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.circuit import ConnectionManager, ConnState, CSPlan
+from repro.core.decision import estimate_ps_latency
+from repro.network.flit import Message
+from repro.network.routing import xy_outport
+from repro.sdm.router import sdm_packet_size
+
+
+class SDMConnectionManager(ConnectionManager):
+    """Per-node circuit control for plane-reserved circuits."""
+
+    @property
+    def reserve_duration(self) -> int:
+        return 1  # one plane, not a slot window
+
+    # ------------------------------------------------------------------
+    def _choose_slot(self, duration: int) -> Optional[int]:
+        """Pick a free plane on the first hop (the 'slot' is a plane)."""
+        router = self.router
+        rng = router.rng
+        for plane in rng.permutation(router.planes):
+            plane = int(plane)
+            if router.cs_route[0][plane] < 0:  # LOCAL inport unreserved
+                return plane
+        return None
+
+    # ------------------------------------------------------------------
+    def _plan_own(self, msg: Message, now: int) -> Optional[CSPlan]:
+        conn = self.connections.get(msg.dst)
+        if conn is None or conn.state is not ConnState.ACTIVE:
+            return None
+        size = sdm_packet_size(self.cfg, "cs_data")
+        t0 = max(now + 1, conn.next_round_min)
+        wait = t0 - now
+        hops = self.mesh.hops(self.node, msg.dst)
+        cs_lat = wait + 2 * (hops + 1) + (size - 1)
+        ps_size = sdm_packet_size(self.cfg, "ps_data")
+        ps_lat = estimate_ps_latency(
+            hops, self.cfg.router.ps_pipeline_latency, ps_size)
+        ps_lat = max(ps_lat, self.ni.ps_latency_ewma) + self.ni.ps_backlog_flits
+        if not self.decision_fn(msg, wait, cs_lat, int(ps_lat)):
+            return None
+        conn.next_round_min = t0 + size  # the plane streams back-to-back
+        conn.last_used = now
+        conn.uses += 1
+        self.cs_messages += 1
+        # the plane index travels in the expected_outport plan field
+        return CSPlan("own", t0, size, msg.dst, msg.dst, conn.slot0,
+                      conn.conn_id)
+
+    def _plan_vicinity(self, msg, now):  # pragma: no cover - not in SDM
+        return None
+
+    def _plan_hitchhike(self, msg, now):  # pragma: no cover - not in SDM
+        return None
+
+    # ------------------------------------------------------------------
+    def _evict_if_crowded(self, now: int) -> None:
+        """Evict an idle circuit when every plane at the source is taken."""
+        router = self.router
+        if any(router.cs_route[0][p] < 0 for p in range(router.planes)):
+            return
+        idle = [c for c in self.connections.values()
+                if c.state is ConnState.ACTIVE
+                and now - c.last_used >= self.ccfg.idle_evict_cycles]
+        if idle:
+            victim = min(idle, key=lambda c: c.last_used)
+            self.teardown(victim, now)
+
+    def _first_hop_outport(self, dst: int) -> int:
+        return xy_outport(self.mesh, self.node, dst)

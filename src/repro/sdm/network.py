@@ -1,0 +1,60 @@
+"""Assembly of the SDM hybrid baseline network (S12)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import NetworkConfig
+from repro.network.network import Network, _build
+from repro.sdm.manager import SDMConnectionManager
+from repro.sdm.ni import SDMNetworkInterface
+from repro.sdm.router import SDMRouter
+from repro.sim.kernel import Simulator
+
+
+class SDMNetwork(Network):
+    """Plane-partitioned hybrid network (Jerger et al. baseline)."""
+
+    def __init__(self, cfg: NetworkConfig, sim, routers, interfaces,
+                 links) -> None:
+        super().__init__(cfg, sim, routers, interfaces, links)
+        self.managers: List[SDMConnectionManager] = []
+
+    def cs_flits_ejected(self) -> int:
+        return int(sum(ni.counters["cs_flit_ejected"]
+                       for ni in self.interfaces))
+
+    def ps_flits_ejected(self) -> int:
+        return int(sum(ni.counters["ps_flit_ejected"]
+                       for ni in self.interfaces))
+
+    def cs_flit_fraction(self) -> float:
+        cs = self.cs_flits_ejected()
+        total = cs + self.ps_flits_ejected()
+        return cs / total if total else 0.0
+
+    def active_connections(self) -> int:
+        from repro.core.circuit import ConnState
+        return sum(1 for m in self.managers for c in m.connections.values()
+                   if c.state is ConnState.ACTIVE)
+
+
+def build_sdm_network(cfg: NetworkConfig, sim: Simulator,
+                      decision_fn=None, eligible_fn=None) -> SDMNetwork:
+    net: SDMNetwork = _build(cfg, sim, router_cls=SDMRouter,
+                             ni_cls=SDMNetworkInterface, net_cls=SDMNetwork)
+    # SlotClock is a TDM concept; SDM managers never consult it, but the
+    # shared ConnectionManager API expects one for its constructor.
+    from repro.core.slot_table import SlotClock
+    clock = SlotClock(max(cfg.sdm.planes, 2))
+    for node in range(net.mesh.num_nodes):
+        ni = net.interfaces[node]
+        router = net.routers[node]
+        manager = SDMConnectionManager(node, cfg, clock, net.mesh, ni,
+                                       router, decision_fn=decision_fn,
+                                       eligible_fn=eligible_fn)
+        ni.manager = manager
+        ni.config_handler = manager.on_config
+        router.on_setup_rejected = manager.on_setup_rejected
+        net.managers.append(manager)
+    return net

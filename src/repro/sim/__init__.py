@@ -1,0 +1,26 @@
+"""Cycle-level simulation kernel (S1).
+
+Provides the deterministic clocked stepping engine, seeded random number
+management, and statistics primitives shared by every other subsystem.
+"""
+
+from repro.sim.kernel import Simulator, SimObject
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    LatencySample,
+    RunningMean,
+    TimeWeighted,
+    WindowedRate,
+)
+
+__all__ = [
+    "Simulator",
+    "SimObject",
+    "Counter",
+    "Histogram",
+    "LatencySample",
+    "RunningMean",
+    "TimeWeighted",
+    "WindowedRate",
+]

@@ -1,0 +1,125 @@
+"""Clocked simulation kernel.
+
+The NoC models in this package are *cycle driven*: every component exposes
+phase methods that the :class:`Simulator` invokes in a fixed global order
+each cycle.  The phase split mirrors the structural timing of a synchronous
+router (link delivery happens before switch traversal, which happens before
+controller bookkeeping) and makes the simulation deterministic regardless
+of component registration order within a phase tier.
+
+Phases per cycle (in order):
+
+``deliver``   link/credit pipelines hand flits and credits to consumers
+``transfer``  routers run the circuit-switched pass then the packet pipeline
+``inject``    network interfaces inject/eject, endpoints generate traffic
+``control``   slow controllers: VC power gating, slot-table sizing,
+              connection management, statistics sampling
+
+All randomness must come from :attr:`Simulator.rng` (a seeded NumPy
+``Generator``) so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+#: Canonical phase names in execution order.
+PHASES = ("deliver", "transfer", "inject", "control")
+
+
+class SimObject:
+    """Base class for objects that participate in the clocked phases.
+
+    Subclasses override any subset of :meth:`deliver`, :meth:`transfer`,
+    :meth:`inject` and :meth:`control`.  The default implementations are
+    no-ops, so components only pay for the phases they use (the kernel
+    skips methods that are not overridden).
+    """
+
+    def deliver(self, cycle: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def transfer(self, cycle: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def inject(self, cycle: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def control(self, cycle: int) -> None:  # pragma: no cover - trivial
+        pass
+
+
+def _overrides(obj: SimObject, name: str) -> bool:
+    """True when *obj* provides its own implementation of phase *name*."""
+    return getattr(type(obj), name) is not getattr(SimObject, name)
+
+
+class Simulator:
+    """Drives registered :class:`SimObject` instances cycle by cycle.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-global random generator.  Every stochastic
+        decision in the models (traffic destinations, injection coin flips,
+        adaptive-route tie breaks, ...) draws from :attr:`rng`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.cycle: int = 0
+        self.rng: np.random.Generator = np.random.default_rng(seed)
+        self._phase_lists: dict[str, List[SimObject]] = {p: [] for p in PHASES}
+        self._objects: List[SimObject] = []
+        self._end_hooks: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add(self, obj: SimObject) -> SimObject:
+        """Register *obj* for every phase it overrides. Returns *obj*."""
+        self._objects.append(obj)
+        for phase in PHASES:
+            if _overrides(obj, phase):
+                self._phase_lists[phase].append(obj)
+        return obj
+
+    def add_end_hook(self, fn: Callable[[int], None]) -> None:
+        """Register *fn(cycle)* to run once when :meth:`run` finishes."""
+        self._end_hooks.append(fn)
+
+    @property
+    def objects(self) -> tuple:
+        return tuple(self._objects)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        c = self.cycle
+        for obj in self._phase_lists["deliver"]:
+            obj.deliver(c)
+        for obj in self._phase_lists["transfer"]:
+            obj.transfer(c)
+        for obj in self._phase_lists["inject"]:
+            obj.inject(c)
+        for obj in self._phase_lists["control"]:
+            obj.control(c)
+        self.cycle = c + 1
+
+    def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:
+        """Run for *cycles* cycles (or until *until()* returns True).
+
+        Returns the number of cycles actually executed.
+        """
+        executed = 0
+        for _ in range(cycles):
+            if until is not None and until():
+                break
+            self.step()
+            executed += 1
+        for hook in self._end_hooks:
+            hook(self.cycle)
+        return executed

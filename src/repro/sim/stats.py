@@ -1,0 +1,200 @@
+"""Statistics primitives used across the simulator.
+
+All classes are plain accumulators with O(1) update cost so they can be
+called from per-cycle hot loops.  Percentile queries on
+:class:`LatencySample` retain the raw samples (network latencies are the
+headline metric of the paper, so we keep full fidelity there).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+
+class Counter:
+    """Named integer event counters backed by a dict.
+
+    >>> c = Counter()
+    >>> c.inc("buffer_write"); c.inc("buffer_write", 2)
+    >>> c["buffer_write"]
+    3
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def items(self):
+        return self._counts.items()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+    def merge(self, other: "Counter") -> None:
+        for k, v in other._counts.items():
+            self.inc(k, v)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({body})"
+
+
+class RunningMean:
+    """Streaming mean/variance (Welford) without storing samples."""
+
+    __slots__ = ("n", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else float("nan")
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class LatencySample:
+    """Retains raw latency samples for mean/percentile reporting."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def add(self, x: float) -> None:
+        self.samples.append(x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        self.samples.extend(xs)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            return float("nan")
+        xs = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(xs)))
+        return xs[rank - 1]
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else float("nan")
+
+
+class Histogram:
+    """Fixed-width bucket histogram for bounded integer metrics."""
+
+    __slots__ = ("bucket_width", "buckets", "overflow", "n")
+
+    def __init__(self, bucket_width: int = 1, num_buckets: int = 64) -> None:
+        if bucket_width < 1 or num_buckets < 1:
+            raise ValueError("bucket_width and num_buckets must be >= 1")
+        self.bucket_width = bucket_width
+        self.buckets = [0] * num_buckets
+        self.overflow = 0
+        self.n = 0
+
+    def add(self, x: float) -> None:
+        idx = int(x // self.bucket_width)
+        if 0 <= idx < len(self.buckets):
+            self.buckets[idx] += 1
+        else:
+            self.overflow += 1
+        self.n += 1
+
+    def as_list(self) -> List[int]:
+        return list(self.buckets)
+
+
+class TimeWeighted:
+    """Time-weighted integral of a piecewise-constant value.
+
+    Used for leakage-energy accounting of power-gated structures: set the
+    number of powered VCs / active slot-table entries whenever it changes
+    and read ``integral`` (value x cycles) after :meth:`finalize`.
+    """
+
+    __slots__ = ("value", "_last_cycle", "integral")
+
+    def __init__(self, value: float = 0.0, cycle: int = 0) -> None:
+        self.value = value
+        self._last_cycle = cycle
+        self.integral = 0.0
+
+    def set(self, value: float, cycle: int) -> None:
+        if cycle < self._last_cycle:
+            raise ValueError("time went backwards")
+        self.integral += self.value * (cycle - self._last_cycle)
+        self.value = value
+        self._last_cycle = cycle
+
+    def finalize(self, cycle: int) -> float:
+        """Integrate up to *cycle* and return the integral."""
+        self.set(self.value, cycle)
+        return self.integral
+
+
+class WindowedRate:
+    """Rate of events over a sliding window of whole epochs.
+
+    Used by the VC power-gating controller (utilisation per epoch) and the
+    connection manager (per-destination message frequency).
+    """
+
+    __slots__ = ("epoch_len", "_events", "_epoch_start", "last_rate")
+
+    def __init__(self, epoch_len: int) -> None:
+        if epoch_len < 1:
+            raise ValueError("epoch_len must be >= 1")
+        self.epoch_len = epoch_len
+        self._events = 0.0
+        self._epoch_start = 0
+        self.last_rate = 0.0
+
+    def record(self, amount: float = 1.0) -> None:
+        self._events += amount
+
+    def maybe_rollover(self, cycle: int) -> bool:
+        """Close the epoch if *cycle* passed its end.  Returns True on close."""
+        if cycle - self._epoch_start >= self.epoch_len:
+            self.last_rate = self._events / max(1, cycle - self._epoch_start)
+            self._events = 0.0
+            self._epoch_start = cycle
+            return True
+        return False

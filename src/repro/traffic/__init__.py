@@ -1,0 +1,20 @@
+"""Synthetic traffic generation and traces (S14)."""
+
+from repro.traffic.patterns import (
+    PATTERN_NAMES,
+    TrafficPattern,
+    make_pattern,
+)
+from repro.traffic.synthetic import SyntheticSource, attach_synthetic_sources
+from repro.traffic.trace import TraceEvent, TraceRecorder, TraceSource
+
+__all__ = [
+    "PATTERN_NAMES",
+    "TrafficPattern",
+    "make_pattern",
+    "SyntheticSource",
+    "attach_synthetic_sources",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSource",
+]

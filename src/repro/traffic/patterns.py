@@ -1,0 +1,140 @@
+"""Synthetic traffic patterns (Section IV).
+
+The paper evaluates uniform random (UR), tornado (TOR) and transpose
+(TR); we additionally provide the standard bit-complement, bit-reverse,
+shuffle, neighbour and hotspot patterns for wider coverage.
+
+A pattern maps a source node to a destination node (or ``None`` when the
+source does not send under that pattern, e.g. transpose diagonal nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.network.topology import Mesh
+
+PATTERN_NAMES = (
+    "uniform_random",
+    "tornado",
+    "transpose",
+    "bit_complement",
+    "bit_reverse",
+    "shuffle",
+    "neighbor",
+    "hotspot",
+)
+
+
+class TrafficPattern:
+    """A named src->dst mapping over a mesh."""
+
+    def __init__(self, name: str, mesh: Mesh,
+                 fn: Callable[[int], Optional[int]]) -> None:
+        self.name = name
+        self.mesh = mesh
+        self._fn = fn
+
+    def __call__(self, src: int) -> Optional[int]:
+        dst = self._fn(src)
+        if dst == src:
+            return None
+        return dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrafficPattern({self.name!r}, {self.mesh!r})"
+
+
+def _bits(n: int) -> int:
+    b = (n - 1).bit_length()
+    return max(b, 1)
+
+
+def make_pattern(name: str, mesh: Mesh,
+                 rng: Optional[np.random.Generator] = None,
+                 hotspot_nodes: Optional[list] = None,
+                 hotspot_fraction: float = 0.2) -> TrafficPattern:
+    """Build a :class:`TrafficPattern` by name.
+
+    ``uniform_random`` and ``hotspot`` need *rng*; ``hotspot`` sends
+    ``hotspot_fraction`` of traffic to ``hotspot_nodes`` (default: the
+    mesh centre node) and the rest uniformly.
+    """
+    n = mesh.num_nodes
+    w, h = mesh.width, mesh.height
+
+    if name == "uniform_random":
+        if rng is None:
+            raise ValueError("uniform_random needs an rng")
+
+        def fn(src: int) -> int:
+            dst = int(rng.integers(n - 1))
+            return dst if dst < src else dst + 1  # exclude self
+
+    elif name == "tornado":
+        # (x, y) -> (x + ceil(k/2) - 1, y), k = mesh width [paper Sec. IV]
+        k = w
+        off = (k + 1) // 2 - 1 if k % 2 else k // 2 - 1
+
+        def fn(src: int) -> int:
+            x, y = mesh.coords(src)
+            return mesh.node_at((x + max(off, 1)) % k, y)
+
+    elif name == "transpose":
+
+        def fn(src: int) -> Optional[int]:
+            x, y = mesh.coords(src)
+            if x == y:
+                return None
+            if y >= w or x >= h:
+                return None  # non-square meshes: clip
+            return mesh.node_at(y, x)
+
+    elif name == "bit_complement":
+        bx, by = _bits(w), _bits(h)
+
+        def fn(src: int) -> Optional[int]:
+            x, y = mesh.coords(src)
+            cx, cy = (~x) & ((1 << bx) - 1), (~y) & ((1 << by) - 1)
+            if cx >= w or cy >= h:
+                return None
+            return mesh.node_at(cx, cy)
+
+    elif name == "bit_reverse":
+        b = _bits(n)
+
+        def fn(src: int) -> Optional[int]:
+            r = int(f"{src:0{b}b}"[::-1], 2)
+            return r if r < n else None
+
+    elif name == "shuffle":
+        b = _bits(n)
+
+        def fn(src: int) -> Optional[int]:
+            r = ((src << 1) | (src >> (b - 1))) & ((1 << b) - 1)
+            return r if r < n else None
+
+    elif name == "neighbor":
+
+        def fn(src: int) -> int:
+            x, y = mesh.coords(src)
+            return mesh.node_at((x + 1) % w, y)
+
+    elif name == "hotspot":
+        if rng is None:
+            raise ValueError("hotspot needs an rng")
+        spots = hotspot_nodes or [mesh.node_at(w // 2, h // 2)]
+
+        def fn(src: int) -> int:
+            if rng.random() < hotspot_fraction:
+                return spots[int(rng.integers(len(spots)))]
+            dst = int(rng.integers(n - 1))
+            return dst if dst < src else dst + 1
+
+    else:
+        raise ValueError(f"unknown pattern {name!r}; "
+                         f"expected one of {PATTERN_NAMES}")
+
+    return TrafficPattern(name, mesh, fn)

@@ -1,0 +1,89 @@
+"""Message traces: record a simulation's traffic and replay it.
+
+Useful for regression tests (identical traffic across schemes), for
+debugging the heterogeneous models, and as the substitute for the
+paper's full-system simulator traces: any workload model can be captured
+once and replayed against every network scheme.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, NamedTuple, Optional
+
+from repro.network.flit import Message, MessageClass
+from repro.network.interface import Endpoint
+from repro.network.network import Network
+
+
+class TraceEvent(NamedTuple):
+    cycle: int
+    src: int
+    dst: int
+    mclass: int
+    size_flits: int
+
+
+class TraceRecorder:
+    """Collects message-send events; attach via :meth:`wrap_send`."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, cycle: int, msg: Message) -> None:
+        self.events.append(TraceEvent(cycle, msg.src, msg.dst,
+                                      int(msg.mclass), msg.size_flits))
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for ev in self.events:
+                fh.write(json.dumps(list(ev)) + "\n")
+
+    @staticmethod
+    def load(path: str) -> List[TraceEvent]:
+        events = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                if line.strip():
+                    events.append(TraceEvent(*json.loads(line)))
+        return events
+
+
+class TraceSource(Endpoint):
+    """Replays the events of one source node from a trace."""
+
+    def __init__(self, node: int, events: Iterable[TraceEvent]) -> None:
+        super().__init__()
+        self._events = sorted((e for e in events if e.src == node),
+                              key=lambda e: e.cycle)
+        self._next = 0
+        self.messages_received = 0
+
+    def tick(self, cycle: int) -> None:
+        while (self._next < len(self._events)
+               and self._events[self._next].cycle <= cycle):
+            ev = self._events[self._next]
+            self._next += 1
+            msg = Message(src=ev.src, dst=ev.dst,
+                          mclass=MessageClass(ev.mclass),
+                          size_flits=ev.size_flits, create_cycle=cycle)
+            self.ni.send(msg)
+
+    def on_message(self, msg: Message, cycle: int) -> None:
+        self.messages_received += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self._events)
+
+
+def attach_trace_sources(net: Network,
+                         events: List[TraceEvent]) -> List[TraceSource]:
+    """Attach replay sources for every node of *net*."""
+    sources = []
+    for node in range(net.mesh.num_nodes):
+        src = TraceSource(node, events)
+        net.attach_endpoint(node, src)
+        sources.append(src)
+    return sources

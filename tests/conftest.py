@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import scheme_config
+from repro.network.network import build_network
+from repro.sim.kernel import Simulator
+from repro.traffic import attach_synthetic_sources, make_pattern
+
+
+def build(scheme: str, width: int = 4, height: int = 4, seed: int = 1,
+          slot_table_size: int = 128, **overrides):
+    """Build a small network of the given scheme for tests."""
+    cfg = scheme_config(scheme, width=width, height=height,
+                        slot_table_size=slot_table_size, **overrides)
+    sim = Simulator(seed=seed)
+    net = build_network(cfg, sim)
+    return sim, net
+
+
+def run_traffic(scheme: str, pattern: str = "uniform_random",
+                rate: float = 0.1, warmup: int = 500, measure: int = 1500,
+                width: int = 4, height: int = 4, seed: int = 1,
+                **overrides):
+    """Run synthetic traffic and return (sim, net, sources)."""
+    sim, net = build(scheme, width=width, height=height, seed=seed,
+                     **overrides)
+    pat = make_pattern(pattern, net.mesh, sim.rng)
+    sources = attach_synthetic_sources(net, pat, injection_rate=rate,
+                                       rng=sim.rng)
+    sim.run(warmup)
+    net.reset_stats()
+    sim.run(measure)
+    return sim, net, sources
+
+
+def drain(sim, net, max_cycles: int = 5000) -> bool:
+    """Stop sources and run until the network empties.  True on success."""
+    for ni in net.interfaces:
+        if ni.endpoint is not None:
+            ni.endpoint.tick = lambda cycle: None  # silence the source
+    for _ in range(max_cycles):
+        if net.in_flight_flits() == 0:
+            return True
+        sim.step()
+    return net.in_flight_flits() == 0
+
+
+@pytest.fixture
+def packet_net():
+    return build("packet_vc4")
+
+
+@pytest.fixture
+def tdm_net():
+    return build("hybrid_tdm_vc4")

@@ -1,0 +1,221 @@
+"""End-to-end circuit path configuration protocol tests (Section II-B).
+
+These drive the real network: setup/teardown/ack messages travel the
+packet-switched escape VC through actual routers and reserve real slot
+table entries.
+"""
+
+import pytest
+
+from repro.core.circuit import ConnState
+from repro.core.decision import always_circuit
+from repro.network.flit import Message, MessageClass
+from repro.network.interface import Endpoint
+from repro.network.topology import LOCAL
+
+from tests.conftest import build
+
+
+class Collector(Endpoint):
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_message(self, msg, cycle):
+        self.received.append((msg, cycle))
+
+
+def setup_connection(sim, net, src, dst, max_cycles=200):
+    """Issue a setup from src to dst and run until it resolves."""
+    mgr = net.managers[src]
+    mgr._maybe_setup(dst, sim.cycle)
+    for _ in range(max_cycles):
+        conn = mgr.connections.get(dst)
+        if conn is not None and conn.state is ConnState.ACTIVE:
+            return conn
+        sim.step()
+    return mgr.connections.get(dst)
+
+
+def walk_circuit(net, src, conn):
+    """Follow a connection's reservations hop by hop; returns the node
+    list ending at the destination."""
+    clock = net.clock
+    node, inport, slot = src, LOCAL, conn.slot0
+    path = [src]
+    for _ in range(net.mesh.num_nodes + 1):
+        hit = net.router(node).slot_state.lookup_in(inport, clock.wrap(slot))
+        assert hit is not None, f"chain broken at node {node}"
+        outport, owner = hit
+        assert owner == conn.conn_id
+        if outport == LOCAL:
+            return path
+        nxt = net.mesh.neighbor(node, outport)
+        from repro.network.topology import opposite_port
+        node, inport, slot = nxt, opposite_port(outport), slot + 2
+        path.append(node)
+    raise AssertionError("circuit chain does not terminate")
+
+
+class TestSetupProtocol:
+    def test_setup_registers_active_connection(self):
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        conn = setup_connection(sim, net, 0, 35)
+        assert conn is not None
+        assert conn.state is ConnState.ACTIVE
+        assert net.managers[0].setups_ok == 1
+
+    def test_reservation_chain_reaches_destination(self):
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        conn = setup_connection(sim, net, 0, 35)
+        path = walk_circuit(net, 0, conn)
+        assert path[-1] == 35
+        assert len(path) == net.mesh.hops(0, 35) + 1  # minimal route
+
+    def test_slot_ids_increment_by_two_per_hop(self):
+        """The chain in walk_circuit advances slots by +2 because the
+        circuit pipeline is two-stage (Section II-B); reaching the
+        destination proves every router honoured it."""
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        conn = setup_connection(sim, net, 0, 7)
+        walk_circuit(net, 0, conn)  # asserts internally
+
+    def test_duration_slots_reserved(self):
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        conn = setup_connection(sim, net, 0, 3)
+        table = net.router(0).slot_state.in_tables[LOCAL]
+        active = net.clock.active
+        reserved = [s for s in range(active) if table.valid[s]]
+        assert len(reserved) == conn.duration == 4
+
+    def test_teardown_clears_whole_path(self):
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        conn = setup_connection(sim, net, 0, 35)
+        mgr = net.managers[0]
+        mgr.teardown(conn, sim.cycle)
+        sim.run(150)
+        for r in net.routers:
+            assert r.slot_state.reserved_entries() == 0
+
+    def test_config_traffic_is_single_flit_packets(self):
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        setup_connection(sim, net, 0, 15)
+        # setup + ack crossed the network: some config flits ejected
+        total_cfg = sum(ni.counters["ps_flit_ejected"]
+                        for ni in net.interfaces)
+        assert total_cfg >= 2
+
+
+class TestSetupConflicts:
+    def test_conflicting_setup_retries_and_lands_elsewhere(self):
+        """Two sources racing for the same output slots: both must end
+        ACTIVE (retry with a different slot id, Section II-B)."""
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        c1 = setup_connection(sim, net, 0, 3)
+        c2 = setup_connection(sim, net, 4, 3)
+        assert c1 is not None and c1.state is ConnState.ACTIVE
+        assert c2 is not None and c2.state is ConnState.ACTIVE
+        # both chains must be intact simultaneously
+        walk_circuit(net, 0, c1)
+        walk_circuit(net, 4, c2)
+
+    def test_failed_setup_sends_nack_and_cleans_partials(self):
+        """Saturate a router's tables so a setup must fail."""
+        sim, net = build("hybrid_tdm_vc4", 6, 6, slot_table_size=8)
+        # active wheel == 8 with no dynamic room: cap 0.9*8=7 slots,
+        # one 4-slot connection fits, a second cannot
+        net.clock.active = 8
+        c1 = setup_connection(sim, net, 0, 1)
+        assert c1.state is ConnState.ACTIVE
+        mgr = net.managers[0]
+        mgr._maybe_setup(2, sim.cycle)  # shares the first-hop link 0->1
+        sim.run(400)
+        # either it failed at the source local table (choose_slot) or
+        # via NACK; in both cases no dangling PENDING reservation leaks
+        conn2 = mgr.connections.get(2)
+        if conn2 is not None and conn2.state is ConnState.ACTIVE:
+            walk_circuit(net, 0, conn2)  # fine: it found room
+        else:
+            # no partial reservations left behind anywhere
+            for r in net.routers:
+                for t in r.slot_state.in_tables:
+                    for s in range(net.clock.active):
+                        if t.valid[s]:
+                            assert t.conn[s] in {c.conn_id for m in
+                                                 net.managers for c in
+                                                 m.by_id.values()}
+
+
+class TestCircuitTransmission:
+    def _active_net(self):
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        mgr = net.managers[0]
+        mgr.decision_fn = always_circuit()
+        sink = Collector()
+        net.attach_endpoint(7, sink)
+        conn = setup_connection(sim, net, 0, 7)
+        assert conn.state is ConnState.ACTIVE
+        return sim, net, mgr, sink
+
+    def test_circuit_message_delivered_as_circuit_flits(self):
+        sim, net, mgr, sink = self._active_net()
+        msg = Message(src=0, dst=7, mclass=MessageClass.DATA, size_flits=5,
+                      create_cycle=sim.cycle)
+        net.ni(0).send(msg)
+        sim.run(net.clock.active + 60)
+        assert [m.id for m, _ in sink.received] == [msg.id]
+        assert net.ni(7).counters["cs_flit_ejected"] == 4  # 4-flit CS data
+        assert mgr.cs_messages == 1
+
+    def test_circuit_packet_is_4_flits_not_5(self):
+        sim, net, mgr, sink = self._active_net()
+        before = net.flits_ejected
+        net.reset_stats()
+        msg = Message(src=0, dst=7, mclass=MessageClass.DATA, size_flits=5,
+                      create_cycle=sim.cycle)
+        net.ni(0).send(msg)
+        sim.run(net.clock.active + 60)
+        assert net.flits_ejected == 4
+
+    def test_circuit_hop_latency_is_2_cycles(self):
+        """From entering the source router to ejection: 2 cycles per
+        router plus the final ejection link."""
+        sim, net, mgr, sink = self._active_net()
+        conn = mgr.connections[7]
+        msg = Message(src=0, dst=7, mclass=MessageClass.DATA, size_flits=5,
+                      create_cycle=sim.cycle)
+        net.ni(0).send(msg)
+        sim.run(net.clock.active + 60)
+        _, cycle = sink.received[0]
+        hops = net.mesh.hops(0, 7)
+        t0 = net.clock.next_cycle_for_slot(conn.slot0, msg.create_cycle + 1)
+        # last flit enters the source router at t0+3, advances one router
+        # every 2 cycles (Section II-D: T -> T+2), and the destination
+        # router's traversal feeds the 2-cycle ejection link
+        expected = t0 + 3 + 2 * hops + 2
+        assert cycle == expected
+
+    def test_repeated_use_same_connection(self):
+        sim, net, mgr, sink = self._active_net()
+        for _ in range(5):
+            msg = Message(src=0, dst=7, mclass=MessageClass.DATA,
+                          size_flits=5, create_cycle=sim.cycle)
+            net.ni(0).send(msg)
+            sim.run(net.clock.active + 40)
+        assert len(sink.received) == 5
+        assert mgr.connections[7].uses == 5
+
+    def test_stale_connection_falls_back_to_packet(self):
+        """Tear the path down behind the manager's back: the scheduled
+        circuit flits must fall back and still be delivered."""
+        sim, net, mgr, sink = self._active_net()
+        conn = mgr.connections[7]
+        msg = Message(src=0, dst=7, mclass=MessageClass.DATA, size_flits=5,
+                      create_cycle=sim.cycle)
+        net.ni(0).send(msg)
+        # invalidate the local reservation before the first flit departs
+        net.router(0).slot_state.release(LOCAL, conn.slot0, conn.duration,
+                                         conn.conn_id)
+        sim.run(300)
+        assert [m.id for m, _ in sink.received] == [msg.id]
+        assert net.ni(0).counters["cs_fallback"] >= 1

@@ -1,0 +1,81 @@
+"""Switching-decision policy tests (Sections II-A, V-A2)."""
+
+from repro.core.decision import (
+    always_circuit,
+    estimate_cs_latency,
+    estimate_ps_latency,
+    never_circuit,
+    slack_decision,
+    stall_threshold_decision,
+)
+from repro.network.flit import Message, MessageClass
+
+
+def msg(slack=None):
+    m = Message(src=0, dst=1, mclass=MessageClass.DATA, size_flits=5,
+                create_cycle=0)
+    if slack is not None:
+        m.meta["slack"] = slack
+    return m
+
+
+class TestStallThreshold:
+    def test_accepts_short_wait_when_circuit_faster(self):
+        d = stall_threshold_decision(16)
+        assert d(msg(), wait=4, cs_lat=15, ps_lat=20)
+
+    def test_rejects_long_wait(self):
+        d = stall_threshold_decision(16)
+        assert not d(msg(), wait=17, cs_lat=15, ps_lat=100)
+
+    def test_rejects_when_packet_faster(self):
+        d = stall_threshold_decision(16)
+        assert not d(msg(), wait=4, cs_lat=30, ps_lat=20)
+
+    def test_boundary_wait_accepted(self):
+        d = stall_threshold_decision(16)
+        assert d(msg(), wait=16, cs_lat=10, ps_lat=10)
+
+
+class TestSlackDecision:
+    def test_circuit_faster_always_accepted(self):
+        d = slack_decision()
+        assert d(msg(slack=0), wait=0, cs_lat=10, ps_lat=12)
+
+    def test_slack_covers_penalty(self):
+        d = slack_decision()
+        assert d(msg(slack=5), wait=0, cs_lat=15, ps_lat=12)
+
+    def test_slack_insufficient(self):
+        d = slack_decision()
+        assert not d(msg(slack=2), wait=0, cs_lat=15, ps_lat=12)
+
+    def test_default_slack_used_when_unset(self):
+        d = slack_decision(default_slack=100)
+        assert d(msg(), wait=0, cs_lat=50, ps_lat=12)
+
+
+class TestTrivialPolicies:
+    def test_always(self):
+        assert always_circuit()(msg(), 999, 999, 0)
+
+    def test_never(self):
+        assert not never_circuit()(msg(), 0, 0, 999)
+
+
+class TestLatencyEstimates:
+    def test_ps_estimate_matches_measured_zero_load(self):
+        """The measured 1-flit/1-hop latency in the simulator is 9 cycles
+        (see test_router); the estimate counts the router portion (8) --
+        it excludes the 1-cycle NI injection link."""
+        assert estimate_ps_latency(hops=1, pipeline_latency=2, size=1) == 8
+
+    def test_cs_estimate(self):
+        # 1 hop => 2 routers x 2 cycles + wait + serialisation
+        assert estimate_cs_latency(hops=1, wait=5, size=4) == 5 + 4 + 3
+
+    def test_cs_beats_ps_for_data_at_zero_wait(self):
+        h = 3
+        cs = estimate_cs_latency(h, wait=0, size=4)
+        ps = estimate_ps_latency(h, pipeline_latency=2, size=5)
+        assert cs < ps

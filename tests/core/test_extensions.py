@@ -1,0 +1,139 @@
+"""Tests for the paper's future-work extensions.
+
+* FeedbackDecision — performance-monitor-driven switching (Section
+  V-B2: "accurate performance monitors can be referred in order to
+  avoid performance penalty").
+* queue-delay VC gating metric (Section V-B4: "activating and
+  deactivating VCs based on more accurate metrics, for example, packet
+  latency").
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import VCGatingConfig, scheme_config
+from repro.core.decision import FeedbackDecision
+from repro.core.hybrid_network import build_hybrid_network
+from repro.network.flit import Message, MessageClass
+from repro.sim.kernel import Simulator
+
+from tests.conftest import build, run_traffic
+
+
+def msg(slack=0):
+    m = Message(src=0, dst=5, mclass=MessageClass.DATA, size_flits=5,
+                create_cycle=0)
+    m.meta["slack"] = slack
+    return m
+
+
+class FakeNI:
+    def __init__(self, ps=0.0, cs=0.0):
+        self.ps_latency_ewma = ps
+        self.cs_latency_ewma = cs
+
+
+class TestFeedbackDecision:
+    def test_unbound_uses_estimates(self):
+        d = FeedbackDecision()
+        assert d(msg(), wait=0, cs_lat=10, ps_lat=20)
+        assert not d(msg(), wait=0, cs_lat=30, ps_lat=20)
+
+    def test_observed_cs_latency_overrides_estimate(self):
+        d = FeedbackDecision().bind(FakeNI(ps=20.0, cs=25.0))
+        # estimate says circuit is cheap, observation says it is not
+        assert not d(msg(), wait=0, cs_lat=10, ps_lat=20)
+
+    def test_observed_ps_latency_raises_packet_cost(self):
+        d = FeedbackDecision().bind(FakeNI(ps=100.0, cs=12.0))
+        assert d(msg(), wait=40, cs_lat=999, ps_lat=20)
+
+    def test_slack_and_margin(self):
+        d = FeedbackDecision(margin=5).bind(FakeNI(ps=10.0, cs=12.0))
+        assert d(msg(slack=0), wait=0, cs_lat=12, ps_lat=10)   # margin 5
+        assert not d(msg(slack=0), wait=10, cs_lat=0, ps_lat=10)
+        assert d(msg(slack=10), wait=10, cs_lat=0, ps_lat=10)
+
+    def test_manager_binds_per_node_copies(self):
+        cfg = scheme_config("hybrid_tdm_vc4")
+        sim = Simulator(seed=1)
+        net = build_hybrid_network(cfg, sim,
+                                   decision_fn=FeedbackDecision())
+        d0 = net.managers[0].decision_fn
+        d1 = net.managers[1].decision_fn
+        assert d0 is not d1
+        assert d0.ni is net.interfaces[0]
+        assert d1.ni is net.interfaces[1]
+
+    def test_end_to_end_with_feedback_policy(self):
+        cfg = scheme_config("hybrid_tdm_vc4")
+        sim = Simulator(seed=4)
+        net = build_hybrid_network(cfg, sim,
+                                   decision_fn=FeedbackDecision())
+        from repro.traffic import attach_synthetic_sources, make_pattern
+        pat = make_pattern("tornado", net.mesh, sim.rng)
+        sources = attach_synthetic_sources(net, pat, injection_rate=0.25,
+                                           rng=sim.rng)
+        sim.run(1500)
+        net.reset_stats()
+        sim.run(3000)
+        assert net.messages_delivered > 0
+        assert net.cs_flit_fraction() > 0  # the policy does use circuits
+
+
+class TestQueueDelayGating:
+    def _cfg(self):
+        cfg = scheme_config("hybrid_tdm_vct")
+        return replace(cfg, vc_gating=replace(cfg.vc_gating,
+                                              metric="queue_delay"))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VCGatingConfig(metric="vibes")
+        with pytest.raises(ValueError):
+            VCGatingConfig(delay_low=5.0, delay_high=2.0)
+
+    def test_idle_network_gates_down(self):
+        from repro.network.network import build_network
+        sim = Simulator(seed=1)
+        net = build_network(self._cfg(), sim)
+        sim.run(3000)
+        min_vcs = net.cfg.vc_gating.min_vcs
+        assert all(r.active_vcs == min_vcs for r in net.routers)
+
+    def test_congestion_reactivates(self):
+        from repro.network.network import build_network
+        from repro.traffic import attach_synthetic_sources, make_pattern
+        sim = Simulator(seed=1)
+        net = build_network(self._cfg(), sim)
+        pat = make_pattern("transpose", net.mesh, sim.rng)
+        attach_synthetic_sources(net, pat, injection_rate=0.5,
+                                 rng=sim.rng)
+        sim.run(4000)
+        avg_active = sum(r.active_vcs for r in net.routers) / len(net.routers)
+        assert avg_active > net.cfg.vc_gating.min_vcs
+
+    def test_traffic_flows_and_conserves(self):
+        from repro.network.network import build_network
+        from repro.traffic import attach_synthetic_sources, make_pattern
+        from tests.conftest import drain
+        sim = Simulator(seed=2)
+        net = build_network(self._cfg(), sim)
+        pat = make_pattern("uniform_random", net.mesh, sim.rng)
+        sources = attach_synthetic_sources(net, pat, injection_rate=0.2,
+                                           rng=sim.rng)
+        sim.run(1200)
+        assert drain(sim, net, max_cycles=10_000)
+        assert sum(s.messages_received for s in sources) == \
+            sum(s.messages_generated for s in sources)
+
+
+class TestRouterQueueDelayProbe:
+    def test_pop_queue_delay_resets(self):
+        sim, net, _ = run_traffic("hybrid_tdm_vct", "transpose", 0.3,
+                                  warmup=500, measure=500)
+        r = net.routers[7]
+        d1 = r.pop_queue_delay()
+        assert d1 >= 0
+        assert r.pop_queue_delay() == 0.0

@@ -1,0 +1,102 @@
+"""DLT and saturating-counter tests (Section III-A)."""
+
+from repro.core.sharing import (
+    DestinationLookupTable,
+    SaturatingCounter,
+    vicinity_candidate,
+)
+from repro.network.topology import Mesh
+
+
+class TestSaturatingCounter:
+    def test_saturates_at_three(self):
+        c = SaturatingCounter()
+        for _ in range(10):
+            c.up()
+        assert c.value == 3
+
+    def test_threshold_at_two(self):
+        """The paper triggers a dedicated setup at state '10' (== 2)."""
+        c = SaturatingCounter(threshold=2)
+        assert not c.up()
+        assert c.up()
+        assert c.triggered
+
+    def test_down_decrements_to_zero(self):
+        c = SaturatingCounter()
+        c.up()
+        c.down()
+        c.down()
+        assert c.value == 0
+
+
+class TestDLT:
+    def test_add_and_lookup(self):
+        dlt = DestinationLookupTable(capacity=4)
+        dlt.add(dest=9, slot=3, duration=4, outport=2, conn=1)
+        e = dlt.lookup(9)
+        assert e is not None
+        assert (e.slot, e.duration, e.outport, e.conn) == (3, 4, 2, 1)
+        assert dlt.lookup(8) is None
+
+    def test_capacity_evicts_oldest(self):
+        dlt = DestinationLookupTable(capacity=2)
+        dlt.add(1, 0, 4, 1, conn=1)
+        dlt.add(2, 0, 4, 1, conn=2)
+        dlt.add(3, 0, 4, 1, conn=3)
+        assert len(dlt) == 2
+        assert dlt.lookup(1) is None
+        assert dlt.lookup(3) is not None
+
+    def test_re_add_same_conn_replaces(self):
+        dlt = DestinationLookupTable(capacity=4)
+        dlt.add(1, 0, 4, 1, conn=7)
+        dlt.add(2, 5, 4, 1, conn=7)
+        assert len(dlt) == 1
+        assert dlt.lookup(1) is None
+        assert dlt.lookup(2).slot == 5
+
+    def test_remove_conn(self):
+        dlt = DestinationLookupTable()
+        dlt.add(1, 0, 4, 1, conn=7)
+        dlt.remove_conn(7)
+        assert dlt.lookup(1) is None
+
+    def test_failure_escalation(self):
+        dlt = DestinationLookupTable(fail_threshold=2)
+        assert not dlt.note_failure(5)
+        assert dlt.note_failure(5)      # second failure escalates
+        assert not dlt.note_failure(5)  # counter was reset after trigger
+
+    def test_success_decrements_failures(self):
+        dlt = DestinationLookupTable(fail_threshold=2)
+        dlt.note_failure(5)
+        dlt.note_success(5)
+        assert not dlt.note_failure(5)  # back to 1, not triggered
+
+    def test_clear(self):
+        dlt = DestinationLookupTable()
+        dlt.add(1, 0, 4, 1, conn=7)
+        dlt.note_failure(2)
+        dlt.clear()
+        assert len(dlt) == 0
+
+    def test_lookup_counts_tracked(self):
+        dlt = DestinationLookupTable()
+        dlt.add(1, 0, 4, 1, conn=7)
+        dlt.lookup(1)
+        dlt.lookup(2)
+        assert dlt.lookups == 2
+        assert dlt.updates == 1
+
+
+class TestVicinityCandidates:
+    def test_adjacent_is_candidate(self):
+        m = Mesh(4, 4)
+        assert vicinity_candidate(m, 5, 6)
+        assert vicinity_candidate(m, 5, 1)
+
+    def test_self_and_far_are_not(self):
+        m = Mesh(4, 4)
+        assert not vicinity_candidate(m, 5, 5)
+        assert not vicinity_candidate(m, 5, 7)

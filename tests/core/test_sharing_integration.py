@@ -1,0 +1,138 @@
+"""End-to-end hitchhiker- and vicinity-sharing tests (Section III-A)."""
+
+import pytest
+
+from repro.core.circuit import ConnState
+from repro.core.decision import always_circuit
+from repro.network.flit import Message, MessageClass
+
+from tests.conftest import build
+from tests.core.test_circuit import Collector, setup_connection, walk_circuit
+
+
+def hop_net(**kw):
+    sim, net = build("hybrid_tdm_hop_vc4", 6, 6, **kw)
+    return sim, net
+
+
+class TestDLTPopulation:
+    def test_intermediate_nodes_learn_passing_circuits(self):
+        sim, net = hop_net()
+        conn = setup_connection(sim, net, 0, 5)  # straight east row
+        path = walk_circuit(net, 0, conn)
+        intermediates = path[1:-1]
+        assert intermediates
+        for node in intermediates:
+            entry = net.router(node).dlt.lookup(5)
+            assert entry is not None
+            assert entry.conn == conn.conn_id
+            assert entry.dest == 5
+
+    def test_source_and_destination_not_required_in_dlt(self):
+        sim, net = hop_net()
+        conn = setup_connection(sim, net, 0, 5)
+        assert net.router(0).dlt.lookup(5) is None  # source knows anyway
+
+    def test_teardown_removes_dlt_entries(self):
+        sim, net = hop_net()
+        conn = setup_connection(sim, net, 0, 5)
+        path = walk_circuit(net, 0, conn)
+        net.managers[0].teardown(conn, sim.cycle)
+        sim.run(150)
+        for node in path[1:-1]:
+            assert net.router(node).dlt.lookup(5) is None
+
+    def test_vicinity_reservations_are_5_slots(self):
+        """With vicinity sharing on, one extra header slot is reserved."""
+        sim, net = hop_net()
+        conn = setup_connection(sim, net, 0, 5)
+        assert conn.duration == 5
+        from repro.network.topology import LOCAL
+        table = net.router(0).slot_state.in_tables[LOCAL]
+        reserved = sum(table.valid[s] for s in range(net.clock.active))
+        assert reserved == 5
+
+
+class TestHitchhiker:
+    def _net_with_circuit(self):
+        sim, net = hop_net()
+        # circuit 0 -> 5 along the bottom row; node 2 sits on the path
+        for m in net.managers:
+            m.decision_fn = always_circuit()
+        conn = setup_connection(sim, net, 0, 5)
+        walk_circuit(net, 0, conn)
+        sink = Collector()
+        net.attach_endpoint(5, sink)
+        return sim, net, conn, sink
+
+    def test_intermediate_node_rides_the_circuit(self):
+        sim, net, conn, sink = self._net_with_circuit()
+        msg = Message(src=2, dst=5, mclass=MessageClass.DATA, size_flits=5,
+                      create_cycle=sim.cycle)
+        net.ni(2).send(msg)
+        sim.run(net.clock.active + 80)
+        assert [m.id for m, _ in sink.received] == [msg.id]
+        assert net.ni(2).counters["cs_send_hitchhike"] == 1
+        assert net.ni(5).counters["cs_flit_ejected"] >= 4
+
+    def test_hitchhiker_loses_to_owner_and_falls_back(self):
+        sim, net, conn, sink = self._net_with_circuit()
+        # owner and hitchhiker aim for the same round
+        owner_msg = Message(src=0, dst=5, mclass=MessageClass.DATA,
+                            size_flits=5, create_cycle=sim.cycle)
+        net.ni(0).send(owner_msg)
+        hitch_msg = Message(src=2, dst=5, mclass=MessageClass.DATA,
+                            size_flits=5, create_cycle=sim.cycle)
+        net.ni(2).send(hitch_msg)
+        sim.run(net.clock.active * 3 + 200)
+        got = sorted(m.id for m, _ in sink.received)
+        assert got == sorted([owner_msg.id, hitch_msg.id])
+
+    def test_repeated_hitchhike_failures_escalate_to_setup(self):
+        sim, net, conn, sink = self._net_with_circuit()
+        mgr2 = net.managers[2]
+        # keep colliding: the owner books every round
+        for _ in range(12):
+            net.ni(0).send(Message(src=0, dst=5, mclass=MessageClass.DATA,
+                                   size_flits=5, create_cycle=sim.cycle))
+            net.ni(2).send(Message(src=2, dst=5, mclass=MessageClass.DATA,
+                                   size_flits=5, create_cycle=sim.cycle))
+            sim.run(net.clock.active)
+        sim.run(400)
+        # node 2 should eventually own a dedicated circuit to 5
+        conn2 = mgr2.connections.get(5)
+        fallbacks = net.ni(2).counters["cs_fallback"]
+        assert conn2 is not None or fallbacks == 0
+
+
+class TestVicinity:
+    def test_message_to_adjacent_destination_uses_circuit(self):
+        sim, net = hop_net()
+        for m in net.managers:
+            m.decision_fn = always_circuit()
+        conn = setup_connection(sim, net, 0, 4)
+        sink = Collector()
+        dest2 = 10  # node adjacent to 4 (north neighbour in 6x6)
+        assert net.mesh.are_adjacent(4, dest2)
+        net.attach_endpoint(dest2, sink)
+        msg = Message(src=0, dst=dest2, mclass=MessageClass.DATA,
+                      size_flits=5, create_cycle=sim.cycle)
+        net.ni(0).send(msg)
+        sim.run(net.clock.active + 300)
+        assert [m.id for m, _ in sink.received] == [msg.id]
+        assert net.ni(0).counters["cs_send_vicinity"] == 1
+        assert net.ni(4).counters["vicinity_hop_off"] == 1
+
+    def test_non_adjacent_destination_not_shared(self):
+        sim, net = hop_net()
+        for m in net.managers:
+            m.decision_fn = always_circuit()
+        setup_connection(sim, net, 0, 4)
+        sink = Collector()
+        net.attach_endpoint(20, sink)  # far from node 4
+        msg = Message(src=0, dst=20, mclass=MessageClass.DATA,
+                      size_flits=5, create_cycle=sim.cycle)
+        net.ni(0).send(msg)
+        sim.run(300)
+        assert [m.id for m, _ in sink.received] == [msg.id]
+        assert net.ni(0).counters["cs_send_vicinity"] == 0

@@ -1,0 +1,126 @@
+"""Dynamic time-division granularity tests (Section II-C)."""
+
+import pytest
+
+from repro.config import SlotTableConfig
+from repro.core.slot_sizing import SlotSizeController
+from repro.core.slot_table import SlotClock
+
+from tests.conftest import build, run_traffic
+
+
+class FakeRouter:
+    def __init__(self):
+        self.resets = 0
+        self.dlt = None
+
+    @property
+    def slot_state(self):
+        outer = self
+
+        class _S:
+            def reset(self):
+                outer.resets += 1
+
+        return _S()
+
+
+class FakeManager:
+    def __init__(self):
+        self.resets = 0
+
+    def reset_all(self):
+        self.resets += 1
+
+
+def make(threshold=4, size=64, active=16, dynamic=True):
+    cfg = SlotTableConfig(size=size, dynamic_sizing=dynamic,
+                          initial_active=active,
+                          resize_fail_threshold=threshold)
+    clock = SlotClock(size, active=active)
+    routers = [FakeRouter() for _ in range(4)]
+    managers = [FakeManager() for _ in range(4)]
+    return clock, SlotSizeController(clock, cfg, routers, managers), \
+        routers, managers
+
+
+class TestController:
+    def test_doubles_after_consecutive_failures(self):
+        clock, ctl, routers, managers = make(threshold=3)
+        for _ in range(3):
+            ctl.note_setup_result(False)
+        ctl.control(cycle=100)
+        assert clock.active == 32
+        assert ctl.resizes == 1
+        assert all(r.resets == 1 for r in routers)
+        assert all(m.resets == 1 for m in managers)
+
+    def test_success_resets_failure_streak(self):
+        clock, ctl, *_ = make(threshold=3)
+        ctl.note_setup_result(False)
+        ctl.note_setup_result(False)
+        ctl.note_setup_result(True)
+        ctl.note_setup_result(False)
+        ctl.control(100)
+        assert clock.active == 16
+
+    def test_capped_at_max_size(self):
+        clock, ctl, *_ = make(threshold=1, size=32, active=32)
+        ctl.note_setup_result(False)
+        ctl.control(100)
+        assert clock.active == 32
+        assert ctl.resizes == 0
+
+    def test_disabled_when_static(self):
+        clock, ctl, *_ = make(threshold=1, dynamic=False)
+        for _ in range(10):
+            ctl.note_setup_result(False)
+        ctl.control(100)
+        assert clock.active == 16
+
+    def test_entries_integral_tracks_growth(self):
+        clock, ctl, *_ = make(threshold=1)
+        ctl.note_setup_result(False)
+        ctl.control(100)           # 16 entries for 100 cycles, then 32
+        assert ctl.entries_integral.finalize(200) == 16 * 100 + 32 * 100
+
+    def test_reset_integral(self):
+        clock, ctl, *_ = make()
+        ctl.entries_integral.finalize(50)
+        ctl.reset_integral(50)
+        assert ctl.entries_integral.finalize(60) == 16 * 10
+
+
+class TestInNetwork:
+    def test_wheel_grows_under_uniform_random_pressure(self):
+        """UR forms many pairs; the wheel must grow beyond its initial
+        size (the paper's explanation for UR's large tables)."""
+        sim, net, _ = run_traffic("hybrid_tdm_vc4", "uniform_random", 0.5,
+                                  width=6, height=6, warmup=3000,
+                                  measure=3000)
+        assert net.clock.active > net.cfg.slot_table.initial_active
+
+    def test_wheel_stays_small_for_tornado(self):
+        sim, net, _ = run_traffic("hybrid_tdm_vc4", "tornado", 0.3,
+                                  width=6, height=6, warmup=2000,
+                                  measure=2000)
+        assert net.clock.active == net.cfg.slot_table.initial_active
+
+    def test_resize_drops_connections_but_traffic_survives(self):
+        sim, net, sources = run_traffic("hybrid_tdm_vc4", "uniform_random",
+                                        0.5, width=6, height=6,
+                                        warmup=3000, measure=2000)
+        assert net.messages_delivered > 0
+        # quiesce so in-flight teardown/ack config messages settle
+        for src in sources:
+            src.msg_prob = 0.0
+        sim.run(2500)
+        if net.size_controller.resizes:
+            # any reservations present must belong to live connections
+            live = {c.conn_id for m in net.managers
+                    for c in m.by_id.values()}
+            for r in net.routers:
+                for t in r.slot_state.in_tables:
+                    for s in range(net.clock.active):
+                        if t.valid[s]:
+                            assert t.conn[s] in live

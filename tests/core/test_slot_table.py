@@ -1,0 +1,184 @@
+"""Slot-table tests, including the exact Figure-1 scenario."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.slot_table import RouterSlotState, SlotClock, SlotTable
+from repro.network.topology import NUM_PORTS
+
+
+class TestSlotClock:
+    def test_slot_wraps_modulo_active(self):
+        clock = SlotClock(128, active=16)
+        assert clock.slot(0) == 0
+        assert clock.slot(17) == 1
+
+    def test_next_cycle_for_slot(self):
+        clock = SlotClock(128, active=8)
+        assert clock.next_cycle_for_slot(3, not_before=0) == 3
+        assert clock.next_cycle_for_slot(3, not_before=4) == 11
+        assert clock.next_cycle_for_slot(3, not_before=11) == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotClock(1)
+        with pytest.raises(ValueError):
+            SlotClock(16, active=32)
+
+    @given(st.integers(2, 128), st.integers(0, 1000), st.integers(0, 127))
+    def test_next_cycle_properties(self, active, not_before, slot):
+        clock = SlotClock(128, active=active)
+        t = clock.next_cycle_for_slot(slot, not_before)
+        assert t >= not_before
+        assert clock.slot(t) == clock.wrap(slot)
+        assert t - not_before < active
+
+
+class TestFigure1:
+    """Figure 1: slot-table state transitions of one router responding
+    to three setup messages (4-entry tables, two input ports in_1/in_2,
+    output out_4 and out_3)."""
+
+    IN1, IN2 = 1, 2
+    OUT3, OUT4 = 3, 4
+
+    def make_state(self):
+        clock = SlotClock(4)  # s0..s3
+        return RouterSlotState(clock, reserve_cap=1.0)
+
+    def test_setup1_succeeds_with_modulo_wrap(self):
+        """setup1: in_1 -> out_4, slot s3, duration 2 => s3 and s0."""
+        st_ = self.make_state()
+        assert st_.can_reserve(self.IN1, self.OUT4, start=3, duration=2)
+        st_.reserve(self.IN1, self.OUT4, start=3, duration=2, conn=1)
+        t = st_.in_tables[self.IN1]
+        assert t.valid[3] and t.valid[0]
+        assert not t.valid[1] and not t.valid[2]
+        assert t.outport[3] == self.OUT4 and t.outport[0] == self.OUT4
+
+    def test_setup2_fails_input_slot_taken(self):
+        """setup2: in_1 -> out_3 at s3 fails; the slot is already
+        allocated at input port in_1."""
+        st_ = self.make_state()
+        st_.reserve(self.IN1, self.OUT4, 3, 2, conn=1)
+        assert not st_.can_reserve(self.IN1, self.OUT3, start=3, duration=1)
+        # tables unchanged
+        assert st_.in_tables[self.IN1].outport[3] == self.OUT4
+
+    def test_setup3_fails_output_conflict(self):
+        """setup3: in_2 -> out_4 at s3 fails; out_4 is reserved for in_1
+        at slot s3 (conflict at the output port)."""
+        st_ = self.make_state()
+        st_.reserve(self.IN1, self.OUT4, 3, 2, conn=1)
+        assert st_.in_tables[self.IN2].reserved_count(4) == 0
+        assert not st_.can_reserve(self.IN2, self.OUT4, start=3, duration=1)
+
+    def test_setup3_would_succeed_on_other_slot(self):
+        st_ = self.make_state()
+        st_.reserve(self.IN1, self.OUT4, 3, 2, conn=1)
+        assert st_.can_reserve(self.IN2, self.OUT4, start=1, duration=1)
+
+    def test_teardown_frees_slots_for_reuse(self):
+        st_ = self.make_state()
+        st_.reserve(self.IN1, self.OUT4, 3, 2, conn=1)
+        out = st_.release(self.IN1, 3, 2, conn=1)
+        assert out == self.OUT4
+        assert st_.can_reserve(self.IN2, self.OUT4, start=3, duration=1)
+
+
+class TestRouterSlotState:
+    def test_release_wrong_conn_is_noop(self):
+        clock = SlotClock(8)
+        st_ = RouterSlotState(clock)
+        st_.reserve(1, 2, 0, 4, conn=7)
+        assert st_.release(1, 0, 4, conn=99) is None
+        assert st_.in_tables[1].valid[0]
+
+    def test_reserve_requires_can_reserve(self):
+        clock = SlotClock(8)
+        st_ = RouterSlotState(clock)
+        st_.reserve(1, 2, 0, 4, conn=1)
+        with pytest.raises(ValueError):
+            st_.reserve(1, 3, 0, 1, conn=2)
+
+    def test_cap_prevents_starvation(self):
+        """Section II-B: allocation prohibited beyond 90% of entries."""
+        clock = SlotClock(16)
+        st_ = RouterSlotState(clock, reserve_cap=0.5)
+        st_.reserve(1, 2, 0, 8, conn=1)   # exactly at the 50% cap
+        assert not st_.can_reserve(1, 3, 8, 1)
+
+    def test_lookup_in(self):
+        clock = SlotClock(8)
+        st_ = RouterSlotState(clock)
+        st_.reserve(0, 4, 2, 1, conn=3)
+        assert st_.lookup_in(0, 2) == (4, 3)
+        assert st_.lookup_in(0, 3) is None
+
+    def test_output_reserved(self):
+        clock = SlotClock(8)
+        st_ = RouterSlotState(clock)
+        st_.reserve(0, 4, 2, 2, conn=3)
+        assert st_.output_reserved(4, 2)
+        assert st_.output_reserved(4, 3)
+        assert not st_.output_reserved(4, 4)
+        assert not st_.output_reserved(3, 2)
+
+    def test_reset_clears_everything(self):
+        clock = SlotClock(8)
+        st_ = RouterSlotState(clock)
+        st_.reserve(0, 4, 0, 4, conn=1)
+        st_.reset()
+        assert st_.reserved_entries() == 0
+        assert not st_.output_reserved(4, 0)
+
+    @given(st.data())
+    def test_in_out_tables_stay_consistent(self, data):
+        """out_owner[out][slot] == inport iff in_tables[inport][slot]
+        routes to out, under random reserve/release sequences."""
+        clock = SlotClock(16)
+        st_ = RouterSlotState(clock, reserve_cap=1.0)
+        live = {}
+        for _ in range(data.draw(st.integers(1, 25))):
+            if live and data.draw(st.booleans()):
+                conn, (inport, start, dur) = data.draw(
+                    st.sampled_from(sorted(live.items())))
+                st_.release(inport, start, dur, conn)
+                del live[conn]
+            else:
+                inport = data.draw(st.integers(0, NUM_PORTS - 1))
+                outport = data.draw(st.integers(0, NUM_PORTS - 1))
+                start = data.draw(st.integers(0, 15))
+                dur = data.draw(st.integers(1, 4))
+                conn = len(live) + 1000 + data.draw(st.integers(0, 10**6))
+                if st_.can_reserve(inport, outport, start, dur) \
+                        and conn not in live:
+                    st_.reserve(inport, outport, start, dur, conn)
+                    live[conn] = (inport, start, dur)
+            # invariant check
+            for out in range(NUM_PORTS):
+                for slot in range(16):
+                    owner = st_.out_owner[out][slot]
+                    if owner != -1:
+                        hit = st_.lookup_in(owner, slot)
+                        assert hit is not None and hit[0] == out
+            total = sum(t.reserved_count(16) for t in st_.in_tables)
+            owned = sum(1 for out in range(NUM_PORTS) for s in range(16)
+                        if st_.out_owner[out][s] != -1)
+            assert total == owned
+
+
+class TestSlotTable:
+    def test_set_clear_lookup(self):
+        t = SlotTable(8)
+        t.set(3, outport=2, conn=5)
+        assert t.lookup(3) == (2, 5)
+        t.clear(3)
+        assert t.lookup(3) is None
+
+    def test_reserved_count_respects_active_window(self):
+        t = SlotTable(8)
+        t.set(1, 0, 1)
+        t.set(6, 0, 2)
+        assert t.reserved_count(8) == 2
+        assert t.reserved_count(4) == 1

@@ -1,0 +1,145 @@
+"""Aggressive VC power gating tests (Section III-B)."""
+
+import pytest
+
+from repro.config import VCGatingConfig
+from repro.core.vc_gating import VCGatingController
+
+from tests.conftest import build, run_traffic
+
+
+class FakeRouter:
+    """Minimal router stand-in for controller unit tests."""
+
+    class RCfg:
+        num_vcs = 4
+
+    rcfg = RCfg()
+
+    def __init__(self):
+        self.active_vcs = 4
+        self.powered_vcs = 4
+        self._util = 0.0
+        self._drainable = True
+        self.power_log = []
+
+    def pop_utilisation(self):
+        return self._util
+
+    def vc_drainable(self, index):
+        return self._drainable
+
+    def set_powered_vcs(self, n, cycle):
+        self.powered_vcs = n
+        self.power_log.append((cycle, n))
+
+
+def make(util=0.0, min_vcs=2, epoch=10):
+    cfg = VCGatingConfig(enabled=True, epoch=epoch, threshold_high=0.55,
+                         threshold_low=0.20, min_vcs=min_vcs)
+    r = FakeRouter()
+    r._util = util
+    return r, VCGatingController(r, cfg)
+
+
+class TestControllerUnit:
+    def test_low_utilisation_deactivates_one_set(self):
+        r, ctl = make(util=0.05)
+        ctl.tick(10)
+        assert r.active_vcs == 3
+        assert ctl.draining_vc == 3
+        # drain completes on a later tick
+        ctl.tick(11)
+        assert r.powered_vcs == 3
+        assert ctl.deactivations == 1
+
+    def test_high_utilisation_activates_one_set(self):
+        r, ctl = make(util=0.9)
+        r.active_vcs = 2
+        r.powered_vcs = 2
+        ctl.tick(10)
+        assert r.active_vcs == 3
+        assert r.powered_vcs == 3
+        assert ctl.activations == 1
+
+    def test_never_below_min_vcs(self):
+        r, ctl = make(util=0.0, min_vcs=2, epoch=5)
+        for t in range(5, 200, 5):
+            ctl.tick(t)
+        assert r.active_vcs == 2
+
+    def test_never_above_max_vcs(self):
+        r, ctl = make(util=1.0, epoch=5)
+        for t in range(5, 200, 5):
+            ctl.tick(t)
+        assert r.active_vcs == 4
+
+    def test_drain_waits_for_evacuation(self):
+        """The VC must be evacuated before it is power-gated."""
+        r, ctl = make(util=0.05)
+        r._drainable = False
+        ctl.tick(10)
+        assert r.active_vcs == 3       # advertised immediately
+        ctl.tick(11)
+        assert r.powered_vcs == 4      # still powered: not drained
+        r._drainable = True
+        ctl.tick(12)
+        assert r.powered_vcs == 3
+
+    def test_reactivation_cancels_drain(self):
+        r, ctl = make(util=0.05, epoch=10)
+        r._drainable = False
+        ctl.tick(10)                   # start draining VC 3
+        r._util = 0.9
+        ctl.tick(20)                   # traffic spike: reactivate
+        assert r.active_vcs == 4
+        assert r.powered_vcs == 4
+        assert ctl.draining_vc == -1
+
+    def test_epoch_pacing(self):
+        r, ctl = make(util=0.0, epoch=100)
+        ctl.tick(50)
+        assert r.active_vcs == 4       # epoch not reached
+        ctl.tick(100)
+        assert r.active_vcs == 3
+
+
+class TestGatingInNetwork:
+    def test_idle_network_gates_down_to_min(self):
+        sim, net = build("hybrid_tdm_vct")
+        sim.run(3000)
+        min_vcs = net.cfg.vc_gating.min_vcs
+        assert all(r.active_vcs == min_vcs for r in net.routers)
+        assert all(r.powered_vcs == min_vcs for r in net.routers)
+
+    def test_heavy_load_keeps_vcs_active(self):
+        sim, net, _ = run_traffic("hybrid_tdm_vct", "uniform_random", 0.6,
+                                  warmup=1500, measure=1500)
+        # at saturation most routers should have re-activated VCs
+        avg_active = sum(r.active_vcs for r in net.routers) / len(net.routers)
+        assert avg_active > net.cfg.vc_gating.min_vcs
+
+    def test_gating_reduces_powered_vc_integral(self):
+        _, idle_net = build("hybrid_tdm_vct")
+        sim_idle = idle_net  # unpack properly below
+        sim, net = build("hybrid_tdm_vct")
+        simb, netb = build("hybrid_tdm_vc4")
+        sim.run(3000)
+        simb.run(3000)
+        gated = sum(r.vc_power_integral.finalize(3000) for r in net.routers)
+        ungated = sum(r.vc_power_integral.finalize(3000)
+                      for r in netb.routers)
+        assert gated < ungated
+
+    def test_upstream_respects_downstream_active_vcs(self):
+        sim, net = build("hybrid_tdm_vct")
+        sim.run(3000)  # everyone gated to min
+        r0 = net.router(0)
+        from repro.network.topology import EAST
+        assert r0._downstream_active_vcs(EAST) == net.cfg.vc_gating.min_vcs
+
+    def test_traffic_still_flows_with_gating(self):
+        sim, net, sources = run_traffic("hybrid_tdm_vct", "transpose", 0.2,
+                                        warmup=1000, measure=2000)
+        assert net.messages_delivered > 0
+        assert net.pkt_latency.mean > 0

@@ -1,0 +1,149 @@
+"""Energy and area model tests (S13)."""
+
+import pytest
+
+from repro.config import scheme_config
+from repro.energy import (
+    AreaModel,
+    EnergyParams,
+    EnergyReport,
+    compute_energy,
+    energy_saving,
+    router_area_mm2,
+)
+from repro.energy.area import HYBRID_ROUTER_AREA_MM2, PACKET_ROUTER_AREA_MM2
+from repro.energy.model import COMPONENTS
+
+from tests.conftest import build, run_traffic
+
+
+class TestEnergyParams:
+    def test_defaults_valid(self):
+        p = EnergyParams.default_45nm()
+        assert p.buffer_write_pj > 0
+        assert p.technology.startswith("45nm")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyParams(buffer_write_pj=-1.0)
+
+    def test_slot_entry_leak_is_tiny_fraction_of_vc(self):
+        """A ~6-bit entry must leak ~1% of a 5x16B VC buffer."""
+        p = EnergyParams()
+        assert p.leak_slot_entry_pj < 0.05 * p.leak_vc_pj
+
+
+class TestEnergyReport:
+    def test_totals_and_fractions(self):
+        r = EnergyReport(dynamic={"buffer": 60.0, "xbar": 40.0},
+                         static={"clock": 100.0}, cycles=10)
+        assert r.dynamic_total == 100.0
+        assert r.static_total == 100.0
+        assert r.total == 200.0
+        assert r.dynamic_fraction("buffer") == pytest.approx(0.6)
+        assert r.static_fraction("clock") == pytest.approx(1.0)
+
+    def test_as_rows_covers_all_components(self):
+        r = EnergyReport()
+        assert [row[0] for row in r.as_rows()] == list(COMPONENTS)
+
+    def test_energy_saving(self):
+        a = EnergyReport(dynamic={"buffer": 100.0})
+        b = EnergyReport(dynamic={"buffer": 80.0})
+        assert energy_saving(a, b) == pytest.approx(0.2)
+        assert energy_saving(EnergyReport(), b) == 0.0
+
+
+class TestComputeEnergy:
+    def test_idle_network_has_static_and_clock_only(self):
+        sim, net = build("packet_vc4")
+        sim.run(100)
+        net.reset_stats()
+        sim.run(500)
+        e = compute_energy(net)
+        assert e.dynamic["buffer"] == 0
+        assert e.dynamic["link"] == 0
+        assert e.dynamic["clock"] > 0
+        assert e.static_total > 0
+
+    def test_energy_scales_with_traffic(self):
+        _, low, _ = run_traffic("packet_vc4", "uniform_random", 0.05,
+                                measure=1500)
+        _, high, _ = run_traffic("packet_vc4", "uniform_random", 0.4,
+                                 measure=1500)
+        elow, ehigh = compute_energy(low), compute_energy(high)
+        assert ehigh.dynamic_total > elow.dynamic_total
+        assert ehigh.static_total == pytest.approx(elow.static_total,
+                                                   rel=0.05)
+
+    def test_hybrid_reduces_buffer_energy_per_flit(self):
+        _, pkt, _ = run_traffic("packet_vc4", "tornado", 0.25,
+                                width=6, height=6, warmup=1500,
+                                measure=2500)
+        _, hyb, _ = run_traffic("hybrid_tdm_vc4", "tornado", 0.25,
+                                width=6, height=6, warmup=1500,
+                                measure=2500)
+        ep, eh = compute_energy(pkt), compute_energy(hyb)
+        bp = ep.dynamic["buffer"] / max(1, pkt.messages_delivered)
+        bh = eh.dynamic["buffer"] / max(1, hyb.messages_delivered)
+        assert bh < bp  # circuit flits skip all buffering
+
+    def test_cs_component_zero_for_packet_network(self):
+        _, net, _ = run_traffic("packet_vc4", "tornado", 0.2, measure=1000)
+        e = compute_energy(net)
+        assert e.dynamic["cs"] == 0
+        assert e.static["cs"] == 0
+
+    def test_cs_overhead_small_for_hybrid(self):
+        """Paper: 0.6% dynamic and 2.1% static CS overhead."""
+        _, net, _ = run_traffic("hybrid_tdm_vc4", "tornado", 0.25,
+                                width=6, height=6, warmup=1500,
+                                measure=2500)
+        e = compute_energy(net)
+        assert 0 < e.dynamic_fraction("cs") < 0.05
+        assert 0 < e.static_fraction("cs") < 0.10
+
+    def test_gating_reduces_static_buffer_energy(self):
+        sima, neta = build("hybrid_tdm_vc4")
+        simb, netb = build("hybrid_tdm_vct")
+        for s in (sima, simb):
+            s.run(2500)
+        ea, eb = compute_energy(neta), compute_energy(netb)
+        assert eb.static["buffer"] < ea.static["buffer"]
+
+    def test_sdm_narrow_width_scaling(self):
+        """SDM buffer events act on quarter-width flits."""
+        _, net, _ = run_traffic("hybrid_sdm_vc4", "neighbor", 0.1,
+                                measure=1200)
+        e = compute_energy(net)
+        c = net.aggregate_counters()
+        p = EnergyParams()
+        expected = (c["buffer_write"] * p.buffer_write_pj
+                    + c["buffer_read"] * p.buffer_read_pj) / 4
+        assert e.dynamic["buffer"] == pytest.approx(expected)
+
+
+class TestAreaModel:
+    def test_paper_headline_numbers(self):
+        m = AreaModel()
+        cfgp = scheme_config("packet_vc4")
+        cfgh = scheme_config("hybrid_tdm_vc4")
+        assert m.packet_router(cfgp) == pytest.approx(
+            PACKET_ROUTER_AREA_MM2, rel=0.01)
+        assert m.hybrid_router(cfgh) == pytest.approx(
+            HYBRID_ROUTER_AREA_MM2, rel=0.01)
+        assert m.overhead(cfgh) == pytest.approx(0.062, abs=0.005)
+
+    def test_router_area_dispatch(self):
+        assert router_area_mm2(scheme_config("packet_vc4")) < \
+            router_area_mm2(scheme_config("hybrid_tdm_vc4"))
+
+    def test_area_scales_with_slot_table(self):
+        small = scheme_config("hybrid_tdm_vc4", slot_table_size=32)
+        large = scheme_config("hybrid_tdm_vc4", slot_table_size=256)
+        assert router_area_mm2(small) < router_area_mm2(large)
+
+    def test_dlt_adds_area_when_sharing(self):
+        plain = scheme_config("hybrid_tdm_vc4")
+        hop = scheme_config("hybrid_tdm_hop_vc4")
+        assert router_area_mm2(hop) > router_area_mm2(plain)

@@ -1,0 +1,260 @@
+"""CPU/GPU/L2/MC endpoint model tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import scheme_config
+from repro.hetero.cpu import CPUCoreEndpoint
+from repro.hetero.gpu import GPUCoreEndpoint
+from repro.hetero.memory import (
+    DRAM_LATENCY,
+    L2_LATENCY,
+    L2BankEndpoint,
+    MemoryControllerEndpoint,
+)
+from repro.hetero.tiles import HeteroLayout
+from repro.hetero.workloads import CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.network.flit import Message, MessageClass
+from repro.network.topology import Mesh
+
+
+class FakeNI:
+    """Captures endpoint sends without a network."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, msg):
+        self.sent.append(msg)
+
+
+def make_cpu(profile="ART", node=0):
+    cfg = scheme_config("packet_vc4")
+    layout = HeteroLayout(Mesh(6, 6))
+    ep = CPUCoreEndpoint(node, cfg, layout, CPU_BENCHMARKS[profile],
+                         np.random.default_rng(0))
+    ep.ni = FakeNI()
+    return ep, layout
+
+
+def make_gpu(profile="BLACKSCHOLES", node=2):
+    cfg = scheme_config("packet_vc4")
+    layout = HeteroLayout(Mesh(6, 6))
+    ep = GPUCoreEndpoint(node, cfg, layout, GPU_BENCHMARKS[profile],
+                         np.random.default_rng(0))
+    ep.ni = FakeNI()
+    return ep, layout
+
+
+def reply_for(req, cycle=0):
+    r = Message(src=req.dst, dst=req.src, mclass=MessageClass.DATA,
+                size_flits=5, create_cycle=cycle)
+    r.meta.update(kind="data_reply", warp=req.meta.get("warp"),
+                  critical=req.meta.get("critical", False))
+    return r
+
+
+class TestCPUCore:
+    def test_retires_instructions_when_unblocked(self):
+        ep, _ = make_cpu("GAFORT")
+        for c in range(100):
+            ep.tick(c)
+        assert ep.instructions_retired > 0
+
+    def test_misses_target_l2_banks(self):
+        ep, layout = make_cpu("ART")
+        for c in range(500):
+            ep.tick(c)
+        assert ep.ni.sent
+        for msg in ep.ni.sent:
+            assert msg.dst in layout.l2_nodes
+            assert not msg.meta.get("gpu", True)
+
+    def test_blocks_on_mlp_saturation(self):
+        ep, _ = make_cpu("ART")
+        for c in range(3000):
+            ep.tick(c)  # no replies ever arrive
+        assert ep.blocked
+        assert ep.outstanding <= ep.profile.mlp
+        retired_at_block = ep.instructions_retired
+        for c in range(3000, 3100):
+            ep.tick(c)
+        assert ep.instructions_retired == retired_at_block
+        assert ep.stall_cycles > 0
+
+    def test_reply_unblocks(self):
+        ep, _ = make_cpu("ART")
+        for c in range(3000):
+            ep.tick(c)
+        assert ep.blocked
+        reqs = [m for m in ep.ni.sent if m.meta["kind"] == "read_req"]
+        for req in reqs:
+            ep.on_message(reply_for(req), 3000)
+        assert not ep.blocked
+
+    def test_miss_rate_tracks_profile(self):
+        ep, _ = make_cpu("GAFORT")  # low miss rate: never blocks long
+        for c in range(5000):
+            ep.tick(c)
+            reqs = [m for m in ep.ni.sent if m.meta["kind"] == "read_req"]
+            for req in reqs:
+                ep.on_message(reply_for(req), c)
+            ep.ni.sent.clear()
+        per_instr = ep.requests_sent / ep.instructions_retired
+        assert per_instr == pytest.approx(ep.profile.miss_rate, rel=0.3)
+
+
+class TestGPUCore:
+    def test_warps_issue_requests(self):
+        ep, layout = make_gpu()
+        for c in range(50):
+            ep.tick(c)
+        reqs = [m for m in ep.ni.sent if m.meta["kind"] == "read_req"]
+        assert reqs
+        for r in reqs:
+            assert r.dst in ep.banks
+            assert r.meta["gpu"] is True
+            assert "slack" in r.meta
+
+    def test_warp_waits_until_reply(self):
+        ep, _ = make_gpu()
+        for c in range(200):
+            ep.tick(c)
+        assert ep.waiting == ep.profile.warps  # all stuck waiting
+        assert ep.available_warps == 0
+
+    def test_reply_restarts_compute_and_counts_iteration(self):
+        ep, _ = make_gpu()
+        for c in range(200):
+            ep.tick(c)
+        req = next(m for m in ep.ni.sent if m.meta["kind"] == "read_req")
+        ep.on_message(reply_for(req), 200)
+        assert ep.iterations == 1
+        assert ep.available_warps == 1
+
+    def test_slack_proportional_to_available_warps(self):
+        ep, _ = make_gpu()
+        full = ep.slack_estimate()
+        assert full == ep.profile.warps * ep.profile.slack_per_warp
+        for c in range(200):
+            ep.tick(c)
+        assert ep.slack_estimate() == 0
+
+    def test_closed_loop_rate_matches_target(self):
+        """With the nominal round trip latency, the SM's injected flits
+        approximate the Table-III target."""
+        from repro.hetero.workloads import NOMINAL_ROUND_TRIP
+        ep, _ = make_gpu("BLACKSCHOLES")
+        pending = []  # (deliver_cycle, reply)
+        cycles = 8000
+        flits = 0
+        for c in range(cycles):
+            ep.tick(c)
+            for m in ep.ni.sent:
+                flits += 1 if m.mclass == MessageClass.CTRL else 5
+                if m.meta["kind"] == "read_req":
+                    pending.append((c + NOMINAL_ROUND_TRIP, reply_for(m)))
+            ep.ni.sent.clear()
+            while pending and pending[0][0] <= c:
+                ep.on_message(pending.pop(0)[1], c)
+        rate = flits / cycles
+        assert rate == pytest.approx(0.18, rel=0.35)
+
+
+class TestMemoryEndpoints:
+    def _wire(self):
+        cfg = scheme_config("packet_vc4")
+        layout = HeteroLayout(Mesh(6, 6))
+        rng = np.random.default_rng(0)
+        bank = L2BankEndpoint(layout.l2_nodes[0], cfg, layout, rng)
+        bank.ni = FakeNI()
+        mc = MemoryControllerEndpoint(layout.mem_nodes[0], cfg, rng)
+        mc.ni = FakeNI()
+        return bank, mc
+
+    def _request(self, bank, miss_p):
+        req = Message(src=5, dst=bank.node, mclass=MessageClass.CTRL,
+                      size_flits=1, create_cycle=0)
+        req.meta.update(kind="read_req", requester=5, gpu=True, warp=3,
+                        slack=10, miss_p=miss_p)
+        return req
+
+    def test_hit_replies_after_l2_latency(self):
+        bank, _ = self._wire()
+        bank.on_message(self._request(bank, miss_p=0.0), 0)
+        for c in range(L2_LATENCY):
+            bank.tick(c)
+            assert not bank.ni.sent
+        bank.tick(L2_LATENCY)
+        assert len(bank.ni.sent) == 1
+        reply = bank.ni.sent[0]
+        assert reply.meta["kind"] == "data_reply"
+        assert reply.dst == 5
+        assert reply.meta["warp"] == 3
+        assert bank.hits == 1
+
+    def test_miss_goes_to_memory_and_back(self):
+        bank, mc = self._wire()
+        bank.on_message(self._request(bank, miss_p=1.0), 0)
+        for c in range(L2_LATENCY + 1):
+            bank.tick(c)
+        fill = bank.ni.sent[0]
+        assert fill.meta["kind"] == "mem_req"
+        assert fill.dst == mc.node or fill.dst in (fill.dst,)
+        assert bank.misses == 1
+        # deliver to the MC
+        mc.on_message(fill, 10)
+        for c in range(10, 10 + DRAM_LATENCY):
+            mc.tick(c)
+            assert not mc.ni.sent
+        mc.tick(10 + DRAM_LATENCY)
+        dram = mc.ni.sent[0]
+        assert dram.meta["kind"] == "mem_reply"
+        # and back through the bank to the requester
+        bank.ni.sent.clear()
+        bank.on_message(dram, 300)
+        assert bank.ni.sent[0].meta["kind"] == "data_reply"
+        assert bank.ni.sent[0].dst == 5
+
+    def test_mshr_limit_queues_excess_requests(self):
+        bank, _ = self._wire()
+        bank.mshrs = 2
+        for _ in range(5):
+            bank.on_message(self._request(bank, miss_p=0.0), 0)
+        assert bank._in_service == 2
+        assert len(bank._waiting) == 3
+        assert bank.max_queue == 3
+        # serve the two in flight: replies free MSHRs, queue drains
+        for c in range(0, 4 * L2_LATENCY + 1):
+            bank.tick(c)
+        assert len(bank.ni.sent) == 5
+        assert not bank._waiting
+
+    def test_miss_holds_mshr_until_fill_returns(self):
+        bank, _ = self._wire()
+        bank.mshrs = 1
+        bank.on_message(self._request(bank, miss_p=1.0), 0)
+        bank.on_message(self._request(bank, miss_p=0.0), 0)
+        for c in range(L2_LATENCY + 1):
+            bank.tick(c)
+        # the miss went to memory; its MSHR is still held, so the second
+        # request is still waiting
+        assert len(bank._waiting) == 1
+        fill = bank.ni.sent[0]
+        assert fill.meta["kind"] == "mem_req"
+        # fake the DRAM fill coming back
+        from repro.network.flit import Message, MessageClass
+        dram = Message(src=9, dst=bank.node, mclass=MessageClass.DATA,
+                       size_flits=5, create_cycle=300)
+        dram.meta.update(kind="mem_reply", orig=fill.meta["orig"])
+        bank.on_message(dram, 300)
+        assert not bank._waiting  # second request admitted
+
+    def test_store_consumed_silently(self):
+        bank, _ = self._wire()
+        store = Message(src=5, dst=bank.node, mclass=MessageClass.DATA,
+                        size_flits=5, create_cycle=0)
+        store.meta.update(kind="store", gpu=True)
+        bank.on_message(store, 0)
+        assert bank.stores == 1
+        assert not bank.ni.sent

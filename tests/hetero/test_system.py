@@ -1,0 +1,103 @@
+"""Full heterogeneous system integration tests (Section V)."""
+
+import pytest
+
+from repro.hetero import HeteroSystem
+from repro.hetero.system import gpu_data_eligible
+from repro.network.flit import Message, MessageClass
+
+
+class TestEligibility:
+    def test_only_gpu_data_is_hybrid_switched(self):
+        gpu_data = Message(src=0, dst=1, mclass=MessageClass.DATA,
+                           size_flits=5, create_cycle=0)
+        gpu_data.meta["gpu"] = True
+        cpu_data = Message(src=0, dst=1, mclass=MessageClass.DATA,
+                           size_flits=5, create_cycle=0)
+        cpu_data.meta["gpu"] = False
+        gpu_req = Message(src=0, dst=1, mclass=MessageClass.CTRL,
+                          size_flits=1, create_cycle=0)
+        gpu_req.meta["gpu"] = True
+        assert gpu_data_eligible(gpu_data)
+        assert not gpu_data_eligible(cpu_data)
+        assert not gpu_data_eligible(gpu_req)
+
+
+class TestSystemRuns:
+    @pytest.mark.parametrize("scheme", ["packet_vc4", "hybrid_tdm_vc4",
+                                        "hybrid_sdm_vc4",
+                                        "hybrid_tdm_hop_vct"])
+    def test_all_schemes_make_progress(self, scheme):
+        system = HeteroSystem(scheme, "EQUAKE", "HOTSPOT", seed=5)
+        res = system.run(warmup=400, measure=1200)
+        assert res.cpu_instructions > 0
+        assert res.gpu_iterations > 0
+        assert res.energy.total > 0
+        assert res.cycles == 1200
+
+    def test_cpu_traffic_never_circuit_switched(self):
+        system = HeteroSystem("hybrid_tdm_vc4", "ART", "BLACKSCHOLES",
+                              seed=5)
+        system.run(warmup=500, measure=2000)
+        # no CPU tile ever scheduled a circuit message
+        for node in system.layout.cpu_nodes:
+            ni = system.net.ni(node)
+            assert ni.counters["cs_send_own"] == 0
+            assert ni.counters["cs_send_hitchhike"] == 0
+
+    def test_gpu_traffic_uses_circuits(self):
+        system = HeteroSystem("hybrid_tdm_vc4", "ART", "BLACKSCHOLES",
+                              seed=5)
+        res = system.run(warmup=1000, measure=3000)
+        assert res.cs_fraction > 0.05
+
+    def test_sto_low_injection(self):
+        lo = HeteroSystem("packet_vc4", "GAFORT", "STO", seed=5) \
+            .run(warmup=800, measure=2500)
+        hi = HeteroSystem("packet_vc4", "GAFORT", "LPS", seed=5) \
+            .run(warmup=800, measure=2500)
+        assert lo.gpu_injection_rate < hi.gpu_injection_rate
+
+    def test_injection_rates_roughly_match_table3(self):
+        res = HeteroSystem("packet_vc4", "EQUAKE", "BLACKSCHOLES",
+                           seed=5).run(warmup=1000, measure=3000)
+        assert res.gpu_injection_rate == pytest.approx(0.18, rel=0.4)
+
+    def test_memory_hierarchy_exercised(self):
+        system = HeteroSystem("packet_vc4", "SWIM", "LPS", seed=5)
+        system.run(warmup=500, measure=2000)
+        assert sum(b.hits for b in system.l2s.values()) > 0
+        assert sum(b.misses for b in system.l2s.values()) > 0
+        assert sum(m.accesses for m in system.mcs.values()) > 0
+
+    def test_deterministic_given_seed(self):
+        r1 = HeteroSystem("hybrid_tdm_vc4", "ART", "NN", seed=11) \
+            .run(warmup=400, measure=1000)
+        r2 = HeteroSystem("hybrid_tdm_vc4", "ART", "NN", seed=11) \
+            .run(warmup=400, measure=1000)
+        assert r1.cpu_instructions == r2.cpu_instructions
+        assert r1.gpu_iterations == r2.gpu_iterations
+        assert r1.energy.total == r2.energy.total
+
+    def test_result_properties(self):
+        res = HeteroSystem("packet_vc4", "AMMP", "NN", seed=5) \
+            .run(warmup=300, measure=900)
+        assert res.cpu_ipc == pytest.approx(res.cpu_instructions / 900)
+        assert res.gpu_throughput == pytest.approx(
+            res.gpu_iterations / 900)
+
+
+class TestPerformanceCoupling:
+    def test_network_latency_feeds_gpu_throughput(self):
+        """A slower network (tiny buffers) must reduce GPU progress."""
+        from dataclasses import replace
+        from repro.config import scheme_config
+        fast = HeteroSystem("packet_vc4", "GAFORT", "LPS", seed=5)
+        rfast = fast.run(warmup=600, measure=2000)
+        cfg = scheme_config("packet_vc4")
+        cfg = replace(cfg, router=replace(cfg.router, num_vcs=1,
+                                          vc_depth=1,
+                                          ps_pipeline_latency=6))
+        slow = HeteroSystem("packet_vc4", "GAFORT", "LPS", seed=5, cfg=cfg)
+        rslow = slow.run(warmup=600, measure=2000)
+        assert rslow.gpu_throughput < rfast.gpu_throughput

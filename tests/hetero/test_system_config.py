@@ -1,0 +1,70 @@
+"""Table-II system configuration tests."""
+
+from repro.hetero.config import (
+    AcceleratorConfig,
+    CPUConfig,
+    DEFAULT_SYSTEM,
+    L2Config,
+    MemoryConfig,
+    SystemConfig,
+    table_ii_summary,
+)
+from repro.hetero.memory import DRAM_LATENCY, L2_LATENCY
+from repro.hetero.workloads import GPU_BENCHMARKS
+
+
+class TestTableII:
+    def test_processor(self):
+        c = CPUConfig()
+        assert c.issue_width == 4
+        assert c.int_fus == 6
+        assert c.fp_fus == 4
+        assert c.rob_entries == 128
+
+    def test_l1(self):
+        c = CPUConfig()
+        assert c.l1_size_kb == 64
+        assert c.l1_assoc == 2
+        assert c.l1_block_bytes == 64
+        assert c.l1_latency == 1
+
+    def test_l2(self):
+        c = L2Config()
+        assert c.total_size_mb == 16
+        assert c.assoc == 4
+        assert c.access_latency == 8
+        assert c.banks == 12  # one bank per L2 tile of Figure 7
+
+    def test_accelerator(self):
+        c = AcceleratorConfig()
+        assert c.simd_width == 32
+        assert c.threads == 1024
+        assert c.shared_memory_kb == 32
+        assert c.warps == 32
+
+    def test_memory(self):
+        c = MemoryConfig()
+        assert c.dram_size_gb == 4
+        assert c.access_latency == 200
+        assert c.controllers == 4
+
+    def test_models_consume_table_ii_latencies(self):
+        assert L2_LATENCY == DEFAULT_SYSTEM.l2.access_latency == 8
+        assert DRAM_LATENCY == DEFAULT_SYSTEM.memory.access_latency == 200
+
+    def test_gpu_profiles_use_table_ii_warp_count(self):
+        warps = AcceleratorConfig().warps
+        assert all(p.warps == warps for p in GPU_BENCHMARKS.values())
+
+    def test_summary_renders_all_rows(self):
+        rows = dict(table_ii_summary())
+        assert "128-entry ROB" in rows["Processor"]
+        assert "16M banked" in rows["L2 Cache"]
+        assert "1024 threads" in rows["Accelerator"]
+        assert "200 cycle" in rows["Memory"]
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_SYSTEM.cpu.issue_width = 8

@@ -1,0 +1,82 @@
+"""Floorplan tests (Figure 7)."""
+
+import pytest
+
+from repro.hetero.tiles import (
+    FLOORPLAN_6X6,
+    HeteroLayout,
+    TileType,
+    default_layout,
+)
+from repro.network.topology import Mesh
+
+
+class TestFloorplan6x6:
+    def setup_method(self):
+        self.layout = HeteroLayout(Mesh(6, 6))
+
+    def test_tile_counts(self):
+        """8 CPU, 12 accelerator, 12 L2, 4 memory-controller tiles."""
+        assert len(self.layout.cpu_nodes) == 8
+        assert len(self.layout.accel_nodes) == 12
+        assert len(self.layout.l2_nodes) == 12
+        assert len(self.layout.mem_nodes) == 4
+
+    def test_every_node_typed(self):
+        assert set(self.layout.tile_of) == set(range(36))
+
+    def test_memory_on_edges(self):
+        m = Mesh(6, 6)
+        for node in self.layout.mem_nodes:
+            x, _ = m.coords(node)
+            assert x in (0, 5)
+
+    def test_bank_hash_deterministic_and_in_banks(self):
+        for addr in range(200):
+            bank = self.layout.bank_for_address(addr)
+            assert bank in self.layout.l2_nodes
+            assert bank == self.layout.bank_for_address(addr)
+
+    def test_mem_for_bank_is_a_controller(self):
+        for bank in self.layout.l2_nodes:
+            assert self.layout.mem_for_bank(bank) in self.layout.mem_nodes
+
+    def test_banks_for_accel_fraction(self):
+        accel = self.layout.accel_nodes[0]
+        few = self.layout.banks_for_accel(accel, 0.2)
+        many = self.layout.banks_for_accel(accel, 1.0)
+        assert len(few) == 2       # ceil-ish of 0.2 * 12
+        assert len(many) == 12
+        assert set(few) <= set(self.layout.l2_nodes)
+
+    def test_banks_differ_across_accelerators(self):
+        a0, a1 = self.layout.accel_nodes[:2]
+        assert self.layout.banks_for_accel(a0, 0.25) != \
+            self.layout.banks_for_accel(a1, 0.25)
+
+    def test_mismatched_floorplan_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroLayout(Mesh(4, 4), FLOORPLAN_6X6)
+
+
+class TestGeneratedFloorplans:
+    @pytest.mark.parametrize("size", [4, 8, 10])
+    def test_scaled_layout_has_all_types(self, size):
+        layout = default_layout(Mesh(size, size))
+        assert layout.cpu_nodes
+        assert layout.accel_nodes
+        assert layout.l2_nodes
+        assert layout.mem_nodes
+        total = (len(layout.cpu_nodes) + len(layout.accel_nodes)
+                 + len(layout.l2_nodes) + len(layout.mem_nodes))
+        assert total == size * size
+
+    def test_default_6x6_uses_paper_floorplan(self):
+        layout = default_layout(Mesh(6, 6))
+        assert len(layout.cpu_nodes) == 8
+
+
+class TestTileType:
+    def test_enum_values(self):
+        assert TileType.CPU.value == "C"
+        assert TileType.MEM.value == "M"

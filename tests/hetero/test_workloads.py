@@ -1,0 +1,68 @@
+"""Workload profile tests (Table III calibration inputs)."""
+
+import pytest
+
+from repro.hetero.workloads import (
+    CPU_BENCHMARKS,
+    GPU_BENCHMARKS,
+    workload_mixes,
+)
+
+
+class TestBenchmarkSets:
+    def test_eight_cpu_benchmarks(self):
+        assert len(CPU_BENCHMARKS) == 8
+        assert set(CPU_BENCHMARKS) == {"AMMP", "APPLU", "ART", "EQUAKE",
+                                       "GAFORT", "MGRID", "SWIM",
+                                       "WUPWISE"}
+
+    def test_seven_gpu_benchmarks(self):
+        assert len(GPU_BENCHMARKS) == 7
+        assert set(GPU_BENCHMARKS) == {"BLACKSCHOLES", "HOTSPOT", "LIB",
+                                       "LPS", "NN", "PATHFINDER", "STO"}
+
+    def test_56_workload_mixes(self):
+        mixes = workload_mixes()
+        assert len(mixes) == 56
+        assert len(set(mixes)) == 56
+
+
+class TestTableIIITargets:
+    @pytest.mark.parametrize("name,target", [
+        ("BLACKSCHOLES", 0.18), ("HOTSPOT", 0.09), ("LIB", 0.20),
+        ("LPS", 0.20), ("NN", 0.18), ("PATHFINDER", 0.13), ("STO", 0.05)])
+    def test_injection_targets_match_table3(self, name, target):
+        assert GPU_BENCHMARKS[name].inj_target == target
+
+    def test_lib_has_fewest_communication_pairs(self):
+        """The paper notes LIB has fewer communication pairs than other
+        GPU applications."""
+        lib = GPU_BENCHMARKS["LIB"].bank_fraction
+        assert all(lib <= p.bank_fraction
+                   for p in GPU_BENCHMARKS.values())
+
+    def test_compute_gap_inversely_tracks_injection(self):
+        fast = GPU_BENCHMARKS["LPS"]
+        slow = GPU_BENCHMARKS["STO"]
+        assert fast.compute_cycles < slow.compute_cycles
+
+    def test_compute_cycles_positive(self):
+        for p in GPU_BENCHMARKS.values():
+            assert p.compute_cycles >= 1
+
+
+class TestCPUProfiles:
+    def test_memory_bound_ranking(self):
+        """ART and SWIM are the memory-bound SPEC OMP applications."""
+        rates = {n: p.miss_rate for n, p in CPU_BENCHMARKS.items()}
+        top_two = sorted(rates, key=rates.get, reverse=True)[:2]
+        assert set(top_two) == {"ART", "SWIM"}
+
+    def test_compute_bound_have_high_ipc(self):
+        assert CPU_BENCHMARKS["WUPWISE"].ipc > CPU_BENCHMARKS["ART"].ipc
+
+    def test_mlp_positive(self):
+        for p in CPU_BENCHMARKS.values():
+            assert p.mlp >= 1
+            assert 0 <= p.crit_fraction <= 1
+            assert 0 <= p.l2_miss_ratio <= 1

@@ -1,0 +1,71 @@
+"""Virtual-channel buffer tests."""
+
+import pytest
+
+from repro.network.buffers import InputPort, VirtualChannel
+from repro.network.flit import Message, MessageClass, Packet
+
+
+def flits(n=3):
+    msg = Message(src=0, dst=1, mclass=MessageClass.DATA, size_flits=n,
+                  create_cycle=0)
+    return Packet(msg, 0, 1, n).make_flits()
+
+
+class TestVirtualChannel:
+    def test_fifo_order(self):
+        vc = VirtualChannel(depth=5)
+        fs = flits(3)
+        for f in fs:
+            vc.push(f)
+        assert vc.front() is fs[0]
+        assert vc.pop() is fs[0]
+        assert vc.pop() is fs[1]
+
+    def test_overflow_raises(self):
+        """Credit protocol must prevent overflow; overflow is a bug."""
+        vc = VirtualChannel(depth=2)
+        fs = flits(3)
+        vc.push(fs[0])
+        vc.push(fs[1])
+        with pytest.raises(OverflowError):
+            vc.push(fs[2])
+
+    def test_occupancy_and_free_slots(self):
+        vc = VirtualChannel(depth=4)
+        assert vc.free_slots == 4
+        vc.push(flits(1)[0])
+        assert vc.occupancy == 1
+        assert vc.free_slots == 3
+
+    def test_busy_includes_held_out_vc(self):
+        vc = VirtualChannel(depth=2)
+        assert not vc.busy
+        vc.out_vc = 1  # mid-packet wormhole hold
+        assert vc.busy
+        vc.clear_route()
+        assert not vc.busy
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            VirtualChannel(depth=0)
+
+
+class TestInputPort:
+    def test_structure(self):
+        port = InputPort(num_vcs=4, vc_depth=5, config_vc_depth=3)
+        assert port.total_vcs == 5
+        assert port.config_vc_index == 4
+        assert port.vcs[4].depth == 3
+        assert port.vcs[0].depth == 5
+
+    def test_data_vcs_iteration_excludes_config(self):
+        port = InputPort(num_vcs=4, vc_depth=5, config_vc_depth=3)
+        indices = [i for i, _ in port.data_vcs()]
+        assert indices == [0, 1, 2, 3]
+
+    def test_occupancy_sums_all_vcs(self):
+        port = InputPort(num_vcs=2, vc_depth=5, config_vc_depth=5)
+        port.vcs[0].push(flits(1)[0])
+        port.vcs[2].push(flits(1)[0])  # config VC
+        assert port.occupancy() == 2

@@ -1,0 +1,106 @@
+"""Flit and credit link timing tests."""
+
+import pytest
+
+from repro.network.flit import FlitKind, Message, MessageClass, Packet
+from repro.network.link import CreditLink, FlitLink, HOP_LATENCY
+
+
+def make_flit():
+    msg = Message(src=0, dst=1, mclass=MessageClass.DATA, size_flits=1,
+                  create_cycle=0)
+    return Packet(msg, 0, 1, 1).make_flits()[0]
+
+
+class TestFlitLink:
+    def test_hop_latency_is_two(self):
+        """Section II-D: ST at T, link at T+1, downstream arrival at T+2."""
+        assert HOP_LATENCY == 2
+
+    def test_delivery_timing(self):
+        link = FlitLink()
+        f = make_flit()
+        link.send(f, cycle=10)
+        assert link.arrivals(11) == []
+        assert link.arrivals(12) == [f]
+        assert link.arrivals(13) == []
+
+    def test_fifo_order(self):
+        link = FlitLink()
+        f1, f2 = make_flit(), make_flit()
+        link.send(f1, 5)
+        link.send(f2, 6)
+        assert link.arrivals(7) == [f1]
+        assert link.arrivals(8) == [f2]
+
+    def test_in_flight_count(self):
+        link = FlitLink()
+        link.send(make_flit(), 0)
+        link.send(make_flit(), 0)
+        assert link.in_flight == 2
+        link.arrivals(2)
+        assert link.in_flight == 0
+
+    def test_flits_carried_counter(self):
+        link = FlitLink()
+        for _ in range(3):
+            link.send(make_flit(), 0)
+        assert link.flits_carried == 3
+
+    def test_custom_latency(self):
+        link = FlitLink(latency=1)
+        f = make_flit()
+        link.send(f, 3)
+        assert link.arrivals(4) == [f]
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            FlitLink(latency=0)
+
+
+class TestCreditLink:
+    def test_one_cycle_latency(self):
+        cl = CreditLink()
+        cl.send(vc=2, cycle=7)
+        assert cl.arrivals(7) == []
+        assert cl.arrivals(8) == [2]
+
+    def test_multiple_credits_same_cycle(self):
+        cl = CreditLink()
+        cl.send(0, 1)
+        cl.send(3, 1)
+        assert sorted(cl.arrivals(2)) == [0, 3]
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            CreditLink(latency=0)
+
+
+class TestFlitFraming:
+    def test_single_flit_packet_is_head_tail(self):
+        f = make_flit()
+        assert f.kind == FlitKind.HEAD_TAIL
+        assert f.is_head and f.is_tail
+
+    def test_multi_flit_framing(self):
+        msg = Message(src=0, dst=1, mclass=MessageClass.DATA, size_flits=5,
+                      create_cycle=0)
+        flits = Packet(msg, 0, 1, 5).make_flits()
+        assert flits[0].kind == FlitKind.HEAD
+        assert all(f.kind == FlitKind.BODY for f in flits[1:-1])
+        assert flits[-1].kind == FlitKind.TAIL
+        assert [f.index for f in flits] == list(range(5))
+
+    def test_circuit_flag_inherited(self):
+        msg = Message(src=0, dst=1, mclass=MessageClass.DATA, size_flits=4,
+                      create_cycle=0)
+        pkt = Packet(msg, 0, 1, 4, circuit=True)
+        assert all(f.is_circuit for f in pkt.make_flits())
+
+    def test_message_final_dst_defaults_to_dst(self):
+        msg = Message(src=0, dst=5, mclass=MessageClass.DATA, size_flits=1,
+                      create_cycle=0)
+        assert msg.final_dst == 5
+        msg2 = Message(src=0, dst=5, mclass=MessageClass.DATA,
+                       size_flits=1, create_cycle=0, final_dst=9)
+        assert msg2.final_dst == 9

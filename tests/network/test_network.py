@@ -1,0 +1,108 @@
+"""Whole-network integration tests (packet-switched baseline)."""
+
+import pytest
+
+from repro.network.topology import LOCAL
+
+from tests.conftest import build, drain, run_traffic
+
+
+class TestConservation:
+    """Every message generated is eventually delivered, exactly once."""
+
+    @pytest.mark.parametrize("pattern", ["uniform_random", "tornado",
+                                         "transpose", "neighbor"])
+    def test_all_messages_delivered_after_drain(self, pattern):
+        sim, net, sources = run_traffic("packet_vc4", pattern, rate=0.2,
+                                        warmup=0, measure=800)
+        assert drain(sim, net)
+        generated = sum(s.messages_generated for s in sources)
+        received = sum(s.messages_received for s in sources)
+        assert generated > 0
+        assert received == generated
+
+    def test_no_flits_left_anywhere(self):
+        sim, net, _ = run_traffic("packet_vc4", "uniform_random", 0.3,
+                                  warmup=0, measure=500)
+        assert drain(sim, net)
+        assert all(r.occupancy() == 0 for r in net.routers)
+        assert all(link.in_flight == 0 for link in net.links)
+
+
+class TestThroughputAndLatency:
+    def test_accepted_tracks_offered_below_saturation(self):
+        sim, net, _ = run_traffic("packet_vc4", "uniform_random", 0.15,
+                                  width=4, height=4, measure=2500)
+        assert net.accepted_load() == pytest.approx(0.15, rel=0.2)
+
+    def test_latency_increases_with_load(self):
+        _, low, _ = run_traffic("packet_vc4", "uniform_random", 0.05,
+                                measure=2000)
+        _, high, _ = run_traffic("packet_vc4", "uniform_random", 0.45,
+                                 measure=2000)
+        assert high.pkt_latency.mean > low.pkt_latency.mean
+
+    def test_saturation_throughput_below_offered(self):
+        sim, net, _ = run_traffic("packet_vc4", "transpose", 0.8,
+                                  measure=2500)
+        assert net.accepted_load() < 0.8
+
+    def test_message_latency_at_least_packet_latency(self):
+        sim, net, _ = run_traffic("packet_vc4", "uniform_random", 0.1,
+                                  measure=1500)
+        assert net.msg_latency.mean >= net.pkt_latency.mean
+
+
+class TestStatsWindow:
+    def test_reset_stats_clears_measurements(self):
+        sim, net, _ = run_traffic("packet_vc4", "uniform_random", 0.2,
+                                  warmup=500, measure=500)
+        assert net.messages_delivered > 0
+        net.reset_stats()
+        assert net.messages_delivered == 0
+        assert net.pkt_latency.count == 0
+        assert net.aggregate_counters()["buffer_write"] == 0
+
+    def test_measured_cycles(self):
+        sim, net = build("packet_vc4")
+        sim.run(100)
+        net.reset_stats()
+        sim.run(250)
+        assert net.measured_cycles == 250
+
+
+class TestWiring:
+    def test_every_router_has_local_links(self):
+        _, net = build("packet_vc4", 3, 3)
+        for r in net.routers:
+            assert r.in_links[LOCAL] is not None
+            assert r.out_links[LOCAL] is not None
+
+    def test_edge_routers_missing_edge_links(self):
+        _, net = build("packet_vc4", 3, 3)
+        corner = net.router(0)
+        wired = [p for p in range(1, 5) if corner.out_links[p] is not None]
+        assert len(wired) == 2
+
+    def test_downstream_references_consistent(self):
+        _, net = build("packet_vc4", 3, 3)
+        m = net.mesh
+        for node in range(m.num_nodes):
+            r = net.router(node)
+            for port in m.ports(node):
+                assert r.downstream[port] is net.router(m.neighbor(node, port))
+
+    def test_deterministic_given_seed(self):
+        r1 = run_traffic("packet_vc4", "uniform_random", 0.2, seed=9,
+                         measure=800)[1]
+        r2 = run_traffic("packet_vc4", "uniform_random", 0.2, seed=9,
+                         measure=800)[1]
+        assert r1.messages_delivered == r2.messages_delivered
+        assert r1.pkt_latency.mean == r2.pkt_latency.mean
+
+    def test_different_seed_differs(self):
+        r1 = run_traffic("packet_vc4", "uniform_random", 0.2, seed=1,
+                         measure=800)[1]
+        r2 = run_traffic("packet_vc4", "uniform_random", 0.2, seed=2,
+                         measure=800)[1]
+        assert r1.messages_delivered != r2.messages_delivered

@@ -1,0 +1,103 @@
+"""Routing function tests: X-Y and odd-even minimal adaptive."""
+
+from hypothesis import given, strategies as st
+
+from repro.network.routing import oe_candidate_outports, xy_outport
+from repro.network.topology import EAST, LOCAL, Mesh, NORTH, SOUTH, WEST
+
+mesh66 = Mesh(6, 6)
+meshes = st.builds(Mesh, st.integers(2, 8), st.integers(2, 8))
+
+
+def walk_xy(mesh, src, dst):
+    """Follow X-Y routing to the destination; returns the hop count."""
+    cur, hops = src, 0
+    while cur != dst:
+        port = xy_outport(mesh, cur, dst)
+        cur = mesh.neighbor(cur, port)
+        hops += 1
+        assert hops <= mesh.num_nodes, "XY routing is cycling"
+    return hops
+
+
+class TestXYRouting:
+    def test_local_at_destination(self):
+        assert xy_outport(mesh66, 7, 7) == LOCAL
+
+    def test_x_first(self):
+        src = mesh66.node_at(0, 0)
+        dst = mesh66.node_at(3, 3)
+        assert xy_outport(mesh66, src, dst) == EAST
+
+    def test_then_y(self):
+        cur = mesh66.node_at(3, 0)
+        dst = mesh66.node_at(3, 3)
+        assert xy_outport(mesh66, cur, dst) == NORTH
+
+    def test_west_and_south(self):
+        cur = mesh66.node_at(3, 3)
+        assert xy_outport(mesh66, cur, mesh66.node_at(1, 3)) == WEST
+        assert xy_outport(mesh66, cur, mesh66.node_at(3, 1)) == SOUTH
+
+    @given(meshes, st.data())
+    def test_always_minimal(self, mesh, data):
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        assert walk_xy(mesh, src, dst) == mesh.hops(src, dst)
+
+
+class TestOddEvenRouting:
+    @given(meshes, st.data())
+    def test_candidates_productive(self, mesh, data):
+        """Every candidate port reduces the distance to the destination."""
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        cur = data.draw(st.integers(0, mesh.num_nodes - 1))
+        cands = oe_candidate_outports(mesh, cur, src, dst)
+        assert cands
+        for port in cands:
+            if port == LOCAL:
+                assert cur == dst
+                continue
+            nbr = mesh.neighbor(cur, port)
+            assert nbr is not None
+            assert mesh.hops(nbr, dst) == mesh.hops(cur, dst) - 1
+
+    @given(meshes, st.data())
+    def test_all_paths_reach_destination(self, mesh, data):
+        """Any greedy walk through OE candidates terminates at dst."""
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        cur, steps = src, 0
+        while cur != dst:
+            cands = oe_candidate_outports(mesh, cur, src, dst)
+            choice = data.draw(st.sampled_from(cands))
+            cur = mesh.neighbor(cur, choice)
+            steps += 1
+            assert steps <= mesh.num_nodes
+        assert steps == mesh.hops(src, dst)
+
+    @given(meshes, st.data())
+    def test_odd_even_turn_rules(self, mesh, data):
+        """No EN/ES turns in even columns; no NW/SW turns in odd columns."""
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        cur, prev_dir = src, None
+        while cur != dst:
+            cands = oe_candidate_outports(mesh, cur, src, dst)
+            choice = data.draw(st.sampled_from(cands))
+            x, _ = mesh.coords(cur)
+            if prev_dir == EAST and choice in (NORTH, SOUTH):
+                assert x % 2 == 1, "EN/ES turn at an even column"
+            if prev_dir in (NORTH, SOUTH) and choice == WEST:
+                assert x % 2 == 0, "NW/SW turn at an odd column"
+            cur = mesh.neighbor(cur, choice)
+            prev_dir = choice
+
+    def test_same_column_goes_vertical(self):
+        src = mesh66.node_at(2, 0)
+        dst = mesh66.node_at(2, 4)
+        assert oe_candidate_outports(mesh66, src, src, dst) == [NORTH]
+
+    def test_at_destination_local(self):
+        assert oe_candidate_outports(mesh66, 8, 0, 8) == [LOCAL]

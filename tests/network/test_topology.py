@@ -1,0 +1,97 @@
+"""Mesh topology unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.topology import (
+    EAST,
+    LOCAL,
+    Mesh,
+    NORTH,
+    NUM_PORTS,
+    SOUTH,
+    WEST,
+    opposite_port,
+)
+
+meshes = st.builds(Mesh, st.integers(2, 9), st.integers(2, 9))
+
+
+class TestMeshBasics:
+    def test_coords_roundtrip(self):
+        m = Mesh(6, 6)
+        for node in range(m.num_nodes):
+            x, y = m.coords(node)
+            assert m.node_at(x, y) == node
+
+    def test_neighbor_directions(self):
+        m = Mesh(4, 4)
+        center = m.node_at(1, 1)
+        assert m.neighbor(center, NORTH) == m.node_at(1, 2)
+        assert m.neighbor(center, SOUTH) == m.node_at(1, 0)
+        assert m.neighbor(center, EAST) == m.node_at(2, 1)
+        assert m.neighbor(center, WEST) == m.node_at(0, 1)
+
+    def test_edges_have_no_neighbor(self):
+        m = Mesh(4, 4)
+        assert m.neighbor(m.node_at(0, 0), WEST) is None
+        assert m.neighbor(m.node_at(0, 0), SOUTH) is None
+        assert m.neighbor(m.node_at(3, 3), EAST) is None
+        assert m.neighbor(m.node_at(3, 3), NORTH) is None
+
+    def test_corner_has_two_ports(self):
+        m = Mesh(4, 4)
+        assert len(list(m.ports(0))) == 2
+
+    def test_interior_has_four_ports(self):
+        m = Mesh(4, 4)
+        assert len(list(m.ports(m.node_at(1, 1)))) == 4
+
+    def test_hops_manhattan(self):
+        m = Mesh(6, 6)
+        assert m.hops(m.node_at(0, 0), m.node_at(5, 5)) == 10
+        assert m.hops(3, 3) == 0
+
+    def test_adjacent(self):
+        m = Mesh(4, 4)
+        assert m.are_adjacent(0, 1)
+        assert not m.are_adjacent(0, 2)
+        assert not m.are_adjacent(0, 0)
+
+    def test_out_of_range_rejected(self):
+        m = Mesh(3, 3)
+        with pytest.raises(ValueError):
+            m.coords(9)
+        with pytest.raises(ValueError):
+            m.node_at(3, 0)
+
+    def test_opposite_ports(self):
+        assert opposite_port(NORTH) == SOUTH
+        assert opposite_port(EAST) == WEST
+        with pytest.raises(ValueError):
+            opposite_port(LOCAL)
+
+    def test_num_ports_constant(self):
+        assert NUM_PORTS == 5
+
+
+class TestMeshProperties:
+    @given(meshes, st.data())
+    def test_neighbor_symmetry(self, m, data):
+        node = data.draw(st.integers(0, m.num_nodes - 1))
+        for port in m.ports(node):
+            nbr = m.neighbor(node, port)
+            assert m.neighbor(nbr, opposite_port(port)) == node
+
+    @given(meshes, st.data())
+    def test_neighbors_are_one_hop(self, m, data):
+        node = data.draw(st.integers(0, m.num_nodes - 1))
+        for nbr in m.neighbors(node):
+            assert m.hops(node, nbr) == 1
+
+    @given(meshes, st.data())
+    def test_hops_triangle_inequality(self, m, data):
+        a = data.draw(st.integers(0, m.num_nodes - 1))
+        b = data.draw(st.integers(0, m.num_nodes - 1))
+        c = data.draw(st.integers(0, m.num_nodes - 1))
+        assert m.hops(a, c) <= m.hops(a, b) + m.hops(b, c)

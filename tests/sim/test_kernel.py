@@ -1,0 +1,92 @@
+"""Unit tests for the simulation kernel."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import PHASES, SimObject, Simulator
+
+
+class Recorder(SimObject):
+    def __init__(self, log, name):
+        self.log = log
+        self.name = name
+
+    def deliver(self, cycle):
+        self.log.append((cycle, self.name, "deliver"))
+
+    def transfer(self, cycle):
+        self.log.append((cycle, self.name, "transfer"))
+
+    def inject(self, cycle):
+        self.log.append((cycle, self.name, "inject"))
+
+    def control(self, cycle):
+        self.log.append((cycle, self.name, "control"))
+
+
+class OnlyTransfer(SimObject):
+    def __init__(self):
+        self.calls = 0
+
+    def transfer(self, cycle):
+        self.calls += 1
+
+
+class TestSimulator:
+    def test_phase_order_within_cycle(self):
+        log = []
+        sim = Simulator()
+        sim.add(Recorder(log, "a"))
+        sim.step()
+        assert [entry[2] for entry in log] == list(PHASES)
+
+    def test_phase_tiers_across_objects(self):
+        """All objects run phase N before any object runs phase N+1."""
+        log = []
+        sim = Simulator()
+        sim.add(Recorder(log, "a"))
+        sim.add(Recorder(log, "b"))
+        sim.step()
+        phases = [entry[2] for entry in log]
+        assert phases == ["deliver", "deliver", "transfer", "transfer",
+                          "inject", "inject", "control", "control"]
+
+    def test_cycle_advances(self):
+        sim = Simulator()
+        sim.run(17)
+        assert sim.cycle == 17
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        executed = sim.run(100, until=lambda: sim.cycle >= 5)
+        assert executed == 5
+        assert sim.cycle == 5
+
+    def test_non_overridden_phase_not_registered(self):
+        sim = Simulator()
+        obj = OnlyTransfer()
+        sim.add(obj)
+        assert obj in sim._phase_lists["transfer"]
+        assert obj not in sim._phase_lists["deliver"]
+        sim.run(3)
+        assert obj.calls == 3
+
+    def test_rng_deterministic_by_seed(self):
+        a = Simulator(seed=42).rng.integers(1000, size=10)
+        b = Simulator(seed=42).rng.integers(1000, size=10)
+        c = Simulator(seed=43).rng.integers(1000, size=10)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_end_hooks_fire_once_per_run(self):
+        sim = Simulator()
+        seen = []
+        sim.add_end_hook(seen.append)
+        sim.run(4)
+        assert seen == [4]
+
+    def test_add_returns_object(self):
+        sim = Simulator()
+        obj = OnlyTransfer()
+        assert sim.add(obj) is obj
+        assert obj in sim.objects

@@ -1,0 +1,150 @@
+"""Unit and property tests for the statistics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    LatencySample,
+    RunningMean,
+    TimeWeighted,
+    WindowedRate,
+)
+
+
+class TestCounter:
+    def test_inc_and_get(self):
+        c = Counter()
+        c.inc("x")
+        c.inc("x", 2)
+        assert c["x"] == 3
+        assert c["missing"] == 0
+
+    def test_merge(self):
+        a, b = Counter(), Counter()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 5)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 5
+
+    def test_reset(self):
+        c = Counter()
+        c.inc("x")
+        c.reset()
+        assert c["x"] == 0
+
+    def test_contains_and_items(self):
+        c = Counter()
+        c.inc("x")
+        assert "x" in c and "y" not in c
+        assert dict(c.items()) == {"x": 1}
+
+
+class TestRunningMean:
+    def test_mean_and_variance(self):
+        rm = RunningMean()
+        for x in (2.0, 4.0, 6.0):
+            rm.add(x)
+        assert rm.mean == pytest.approx(4.0)
+        assert rm.variance == pytest.approx(4.0)
+        assert rm.stddev == pytest.approx(2.0)
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(RunningMean().mean)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_matches_naive_mean(self, xs):
+        rm = RunningMean()
+        for x in xs:
+            rm.add(x)
+        assert rm.mean == pytest.approx(sum(xs) / len(xs), rel=1e-9,
+                                        abs=1e-6)
+
+
+class TestLatencySample:
+    def test_mean_and_percentiles(self):
+        ls = LatencySample()
+        ls.extend(range(1, 101))
+        assert ls.mean == pytest.approx(50.5)
+        assert ls.percentile(50) == 50
+        assert ls.percentile(99) == 99
+        assert ls.max == 100
+        assert ls.count == 100
+
+    def test_empty_is_nan(self):
+        ls = LatencySample()
+        assert math.isnan(ls.mean)
+        assert math.isnan(ls.percentile(50))
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+    def test_percentile_bounds(self, xs):
+        ls = LatencySample()
+        ls.extend(xs)
+        assert min(xs) <= ls.percentile(50) <= max(xs)
+        assert ls.percentile(100) == max(xs)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram(bucket_width=10, num_buckets=4)
+        for x in (0, 9, 10, 39):
+            h.add(x)
+        assert h.as_list() == [2, 1, 0, 1]
+        assert h.overflow == 0
+
+    def test_overflow(self):
+        h = Histogram(bucket_width=1, num_buckets=2)
+        h.add(5)
+        assert h.overflow == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=0)
+
+
+class TestTimeWeighted:
+    def test_integral(self):
+        tw = TimeWeighted(4, cycle=0)
+        tw.set(2, cycle=10)   # 4 for 10 cycles
+        assert tw.finalize(20) == pytest.approx(4 * 10 + 2 * 10)
+
+    def test_time_backwards_rejected(self):
+        tw = TimeWeighted(1, cycle=5)
+        with pytest.raises(ValueError):
+            tw.set(0, cycle=4)
+
+    def test_finalize_idempotent_at_same_cycle(self):
+        tw = TimeWeighted(3, cycle=0)
+        assert tw.finalize(10) == tw.finalize(10) == 30
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(1, 20)),
+                    min_size=1, max_size=20))
+    def test_matches_stepwise_sum(self, segments):
+        tw = TimeWeighted(0, cycle=0)
+        now = 0
+        expected = 0
+        value = 0
+        for new_value, duration in segments:
+            expected += value * duration
+            now += duration
+            tw.set(new_value, now)
+            value = new_value
+        assert tw.finalize(now) == pytest.approx(expected)
+
+
+class TestWindowedRate:
+    def test_rollover_rate(self):
+        wr = WindowedRate(epoch_len=10)
+        for _ in range(5):
+            wr.record()
+        assert not wr.maybe_rollover(9)
+        assert wr.maybe_rollover(10)
+        assert wr.last_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedRate(0)

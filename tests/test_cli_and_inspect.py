@@ -1,0 +1,97 @@
+"""CLI and inspection utility tests."""
+
+import pytest
+
+from repro import inspect as insp
+from repro.cli import build_parser, main
+
+from tests.conftest import build, run_traffic
+
+
+class TestInspect:
+    def test_network_summary_fields(self):
+        sim, net, _ = run_traffic("hybrid_tdm_vc4", "tornado", 0.2,
+                                  warmup=300, measure=700)
+        text = insp.network_summary(net)
+        assert "TDM network" in text
+        assert "TDM wheel" in text
+        assert "circuit-switched flit fraction" in text
+
+    def test_slot_table_dump_shows_reservations(self):
+        from tests.core.test_circuit import setup_connection
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        setup_connection(sim, net, 0, 3)
+        text = insp.slot_table_dump(net, 0)
+        assert "router 0" in text
+        assert "reserved entries: 4" in text
+
+    def test_slot_table_dump_on_packet_router(self):
+        _, net = build("packet_vc4")
+        assert "no slot tables" in insp.slot_table_dump(net, 0)
+
+    def test_occupancy_heatmap_dimensions(self):
+        _, net = build("packet_vc4", 3, 5)
+        lines = insp.occupancy_heatmap(net).splitlines()
+        assert len(lines) == 6  # title + 5 rows
+        assert all(len(l.split()) == 3 for l in lines[1:])
+
+    def test_vc_power_map(self):
+        sim, net = build("hybrid_tdm_vct")
+        sim.run(2500)
+        text = insp.vc_power_map(net)
+        assert "2" in text  # gated to min_vcs when idle
+
+    def test_circuit_listing(self):
+        from tests.core.test_circuit import setup_connection
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        setup_connection(sim, net, 0, 3)
+        text = insp.circuit_listing(net)
+        assert "0 -> 3" in text
+        assert "total: 1" in text
+
+    def test_circuit_listing_packet_network(self):
+        _, net = build("packet_vc4")
+        assert "no circuit control plane" in insp.circuit_listing(net)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for cmd in ("sweep", "energy", "hetero", "table3", "fig",
+                    "inspect"):
+            args = parser.parse_args([cmd] if cmd not in ("fig",)
+                                     else [cmd, "fig5"])
+            assert args.command == cmd
+
+    def test_sweep_command_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        rc = main(["sweep", "neighbor", "--rates", "0.1",
+                   "--schemes", "packet_vc4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Load-latency sweep" in out
+        assert "packet_vc4" in out
+
+    def test_energy_command_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        rc = main(["energy", "tornado", "--rate", "0.2"])
+        assert rc == 0
+        assert "save_%" in capsys.readouterr().out
+
+    def test_inspect_command_runs(self, capsys):
+        rc = main(["inspect", "--cycles", "300", "--pattern", "neighbor"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "buffer occupancy" in out
+
+    def test_csv_written(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        csv = str(tmp_path / "sweep.csv")
+        rc = main(["sweep", "neighbor", "--rates", "0.1",
+                   "--schemes", "packet_vc4", "--csv", csv])
+        assert rc == 0
+        assert open(csv).readline().startswith("scheme,")
+
+    def test_fig_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig", "fig7"])

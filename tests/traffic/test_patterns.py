@@ -1,0 +1,99 @@
+"""Synthetic traffic pattern tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.topology import Mesh
+from repro.traffic import PATTERN_NAMES, make_pattern
+
+mesh66 = Mesh(6, 6)
+
+
+class TestPatternDefinitions:
+    def test_tornado_formula(self):
+        """(x, y) -> (x + k/2 - 1 mod k, y) per the paper, k = 6 => +2."""
+        pat = make_pattern("tornado", mesh66)
+        src = mesh66.node_at(1, 3)
+        assert pat(src) == mesh66.node_at(3, 3)
+        src = mesh66.node_at(5, 0)
+        assert pat(src) == mesh66.node_at(1, 0)
+
+    def test_transpose_formula(self):
+        pat = make_pattern("transpose", mesh66)
+        assert pat(mesh66.node_at(1, 4)) == mesh66.node_at(4, 1)
+
+    def test_transpose_diagonal_silent(self):
+        pat = make_pattern("transpose", mesh66)
+        assert pat(mesh66.node_at(2, 2)) is None
+
+    def test_uniform_random_excludes_self(self):
+        rng = np.random.default_rng(0)
+        pat = make_pattern("uniform_random", mesh66, rng)
+        for src in range(36):
+            for _ in range(20):
+                assert pat(src) != src
+
+    def test_uniform_random_covers_all_destinations(self):
+        rng = np.random.default_rng(0)
+        pat = make_pattern("uniform_random", mesh66, rng)
+        seen = {pat(0) for _ in range(2000)}
+        assert seen == set(range(1, 36))
+
+    def test_uniform_random_requires_rng(self):
+        with pytest.raises(ValueError):
+            make_pattern("uniform_random", mesh66)
+
+    def test_bit_complement(self):
+        m = Mesh(4, 4)
+        pat = make_pattern("bit_complement", m)
+        assert pat(m.node_at(0, 0)) == m.node_at(3, 3)
+        assert pat(m.node_at(1, 2)) == m.node_at(2, 1)
+
+    def test_neighbor_pattern(self):
+        pat = make_pattern("neighbor", mesh66)
+        assert pat(mesh66.node_at(0, 0)) == mesh66.node_at(1, 0)
+        assert pat(mesh66.node_at(5, 0)) == mesh66.node_at(0, 0)
+
+    def test_hotspot_concentrates(self):
+        rng = np.random.default_rng(0)
+        spot = mesh66.node_at(3, 3)
+        pat = make_pattern("hotspot", mesh66, rng, hotspot_nodes=[spot],
+                           hotspot_fraction=0.5)
+        hits = sum(pat(0) == spot for _ in range(1000))
+        assert 350 < hits < 650
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            make_pattern("zigzag", mesh66)
+
+
+class TestPatternProperties:
+    @given(st.sampled_from([n for n in PATTERN_NAMES
+                            if n not in ("uniform_random", "hotspot")]),
+           st.integers(2, 8), st.integers(2, 8), st.data())
+    def test_destinations_always_in_mesh_and_not_self(self, name, w, h,
+                                                      data):
+        mesh = Mesh(w, h)
+        pat = make_pattern(name, mesh)
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = pat(src)
+        if dst is not None:
+            assert 0 <= dst < mesh.num_nodes
+            assert dst != src
+
+    @given(st.integers(2, 8), st.integers(2, 8), st.data())
+    def test_uniform_random_in_bounds(self, w, h, data):
+        mesh = Mesh(w, h)
+        rng = np.random.default_rng(data.draw(st.integers(0, 999)))
+        pat = make_pattern("uniform_random", mesh, rng)
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = pat(src)
+        assert dst is None or (0 <= dst < mesh.num_nodes and dst != src)
+
+    def test_deterministic_patterns_are_functions(self):
+        for name in ("tornado", "transpose", "bit_complement",
+                     "bit_reverse", "shuffle", "neighbor"):
+            pat = make_pattern(name, mesh66)
+            for src in range(36):
+                assert pat(src) == pat(src)

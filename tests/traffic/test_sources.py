@@ -1,0 +1,81 @@
+"""Synthetic source and trace replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    SyntheticSource,
+    TraceEvent,
+    TraceRecorder,
+    attach_synthetic_sources,
+    make_pattern,
+)
+from repro.traffic.trace import TraceSource, attach_trace_sources
+
+from tests.conftest import build
+
+
+class TestSyntheticSource:
+    def test_injection_rate_approximately_met(self):
+        sim, net = build("packet_vc4", 4, 4)
+        pat = make_pattern("uniform_random", net.mesh, sim.rng)
+        sources = attach_synthetic_sources(net, pat, injection_rate=0.2,
+                                           rng=sim.rng)
+        sim.run(3000)
+        generated = sum(s.messages_generated for s in sources)
+        expected = 0.2 / 5 * 3000 * 16  # msg_prob x cycles x nodes
+        assert generated == pytest.approx(expected, rel=0.15)
+
+    def test_zero_rate_generates_nothing(self):
+        sim, net = build("packet_vc4")
+        pat = make_pattern("tornado", net.mesh, sim.rng)
+        sources = attach_synthetic_sources(net, pat, injection_rate=0.0,
+                                           rng=sim.rng)
+        sim.run(500)
+        assert sum(s.messages_generated for s in sources) == 0
+
+    def test_stop_cycle_honoured(self):
+        sim, net = build("packet_vc4")
+        pat = make_pattern("tornado", net.mesh, sim.rng)
+        sources = attach_synthetic_sources(net, pat, injection_rate=0.5,
+                                           rng=sim.rng, stop_cycle=100)
+        sim.run(500)
+        counts = sum(s.messages_generated for s in sources)
+        sim.run(500)
+        assert sum(s.messages_generated for s in sources) == counts
+
+    def test_negative_rate_rejected(self):
+        sim, net = build("packet_vc4")
+        pat = make_pattern("tornado", net.mesh, sim.rng)
+        with pytest.raises(ValueError):
+            SyntheticSource(0, net.cfg, pat, -0.1, sim.rng)
+
+
+class TestTrace:
+    def test_record_save_load_roundtrip(self, tmp_path):
+        rec = TraceRecorder()
+        from repro.network.flit import Message, MessageClass
+        msg = Message(src=1, dst=2, mclass=MessageClass.DATA, size_flits=5,
+                      create_cycle=0)
+        rec.record(10, msg)
+        rec.record(20, msg)
+        path = str(tmp_path / "trace.jsonl")
+        rec.save(path)
+        events = TraceRecorder.load(path)
+        assert events == [TraceEvent(10, 1, 2, 0, 5),
+                          TraceEvent(20, 1, 2, 0, 5)]
+
+    def test_replay_delivers_same_messages(self):
+        events = [TraceEvent(5, 0, 3, 1, 1), TraceEvent(9, 0, 3, 0, 5),
+                  TraceEvent(12, 2, 1, 0, 5)]
+        sim, net = build("packet_vc4", 2, 2)
+        sources = attach_trace_sources(net, events)
+        sim.run(300)
+        assert all(s.exhausted for s in sources)
+        received = sum(s.messages_received for s in sources)
+        assert received == 3
+
+    def test_trace_source_filters_by_node(self):
+        events = [TraceEvent(1, 0, 3, 0, 5), TraceEvent(1, 1, 3, 0, 5)]
+        src0 = TraceSource(0, events)
+        assert len(src0._events) == 1

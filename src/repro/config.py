@@ -123,12 +123,38 @@ class CircuitConfig:
     #: sharing failures (2-bit saturating counter) before a dedicated
     #: setup is generated; the paper uses the '10' state == 2 failures
     sharing_fail_threshold: int = 2
+    # -- resilience (fault-injection studies) ---------------------------
+    #: cycles a PENDING setup (or TEARING teardown) may remain
+    #: unacknowledged before the manager times it out and retries.  0
+    #: disables the whole resilience layer (the protocol then assumes a
+    #: perfect fabric, the paper's implicit model).
+    setup_timeout: int = 0
+    #: retry-delay growth per timed-out attempt (bounded exponential
+    #: backoff): attempt k is resent ``setup_timeout * backoff_factor**k``
+    #: cycles after its timeout, capped at ``backoff_cap`` multiples.
+    backoff_factor: int = 2
+    backoff_cap: int = 8
+    #: consecutive setup failures/timeouts to one destination before the
+    #: pair is demoted to pure packet switching for ``demote_cycles``
+    demote_threshold: int = 3
+    demote_cycles: int = 4000
 
     def __post_init__(self) -> None:
         if self.duration < 1:
             raise ValueError("duration must be >= 1")
         if self.dlt_size < 1:
             raise ValueError("dlt_size must be >= 1")
+        if self.setup_timeout < 0:
+            raise ValueError("setup_timeout must be >= 0")
+        if self.backoff_factor < 1 or self.backoff_cap < 1:
+            raise ValueError("backoff parameters must be >= 1")
+        if self.demote_threshold < 1 or self.demote_cycles < 0:
+            raise ValueError("invalid demotion parameters")
+
+    @property
+    def resilience_enabled(self) -> bool:
+        """True when the timeout/backoff/demotion machinery is active."""
+        return self.setup_timeout > 0
 
 
 @dataclass
@@ -159,6 +185,57 @@ class VCGatingConfig:
 
 
 @dataclass
+class FaultConfig:
+    """Deterministic, seeded fault injection (see ``repro.faults``).
+
+    All stochastic draws come from the simulation-global generator, so a
+    ``(seed, config)`` pair fully determines which faults strike and
+    when.  Disabled by default: a default-config run performs zero extra
+    RNG draws and is bit-identical to a build without this subsystem.
+    """
+
+    enabled: bool = False
+    #: probability that an injected CONFIG message (SETUP / TEARDOWN /
+    #: ACK) is silently lost before entering the network
+    config_drop_rate: float = 0.0
+    #: number of directed inter-router links that fail permanently ...
+    link_fail_count: int = 0
+    #: ... at this cycle
+    link_fail_cycle: int = 1000
+    #: per-cycle probability of a transient link blackout striking a
+    #: random healthy directed link for ``transient_duration`` cycles
+    transient_link_rate: float = 0.0
+    transient_duration: int = 200
+    #: per-cycle probability of a random router stalling (its transfer
+    #: phase frozen) for ``router_stall_duration`` cycles
+    router_stall_rate: float = 0.0
+    router_stall_duration: int = 50
+    #: per-cycle probability of corrupting (invalidating) one reserved
+    #: slot-table entry of a random router input port
+    slot_corrupt_rate: float = 0.0
+    #: orphaned-reservation garbage collection period (cycles; 0 = off)
+    orphan_gc_interval: int = 2048
+    # -- watchdog -------------------------------------------------------
+    watchdog: bool = True       #: install the sim watchdog when enabled
+    watchdog_interval: int = 512   #: cycles between watchdog checks
+    #: consecutive no-progress checks (with work in flight) that raise
+    #: :class:`repro.sim.kernel.LivelockError`
+    watchdog_patience: int = 4
+    audit: bool = True          #: run the flit-conservation audit
+
+    def __post_init__(self) -> None:
+        for name in ("config_drop_rate", "transient_link_rate",
+                     "router_stall_rate", "slot_corrupt_rate"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.link_fail_count < 0:
+            raise ValueError("link_fail_count must be >= 0")
+        if self.watchdog_interval < 1 or self.watchdog_patience < 1:
+            raise ValueError("watchdog parameters must be >= 1")
+
+
+@dataclass
 class SDMConfig:
     """Space-division-multiplexed hybrid baseline (Jerger et al. [5])."""
 
@@ -180,6 +257,7 @@ class NetworkConfig:
     circuit: CircuitConfig = field(default_factory=CircuitConfig)
     vc_gating: VCGatingConfig = field(default_factory=VCGatingConfig)
     sdm: SDMConfig = field(default_factory=SDMConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: 'packet', 'tdm' or 'sdm'
     switching: str = "tdm"
 

@@ -75,6 +75,7 @@ class HybridNetworkInterface(NetworkInterface):
     def _cs_flit_ok(self, flit: Flit, token: dict) -> None:
         self._cs_outstanding -= 1
         token["pending"].remove(flit)
+        self.ledger.injected += 1
         self.counters.inc("flit_injected")
         plan: CSPlan = token["plan"]
         if flit.is_tail and plan.kind == "hitchhike":

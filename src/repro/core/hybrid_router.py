@@ -52,6 +52,12 @@ class HybridRouter(PacketRouter):
         self.dlt = None                      # node DLT (sharing enabled)
         #: manager callback for setups this router rejects
         self.on_setup_rejected: Optional[Callable] = None
+        #: called (conn_id, circuit_src, cycle) when a circuit flit hit a
+        #: dead link here and was diverted to the packet-switched network
+        self.on_circuit_fault: Optional[Callable] = None
+        #: called (payload, cycle) when a teardown walk completed its
+        #: full path at this router (terminal hop)
+        self.on_teardown_done: Optional[Callable] = None
         self._cs_inject: Dict[int, List[CSInjection]] = {}
         self._cs_in_used = [False] * NUM_PORTS
         self._cs_out_used = [False] * NUM_PORTS
@@ -84,7 +90,19 @@ class HybridRouter(PacketRouter):
         slot = self.clock.slot(cycle)
         hit = self.slot_state.lookup_in(inport, slot)
         if hit is not None:
-            outport, _conn = hit
+            outport, conn = hit
+            if not self._link_up(outport):
+                # the circuit crosses a dead link: divert the flit to the
+                # local NI; the hop-off path carries the packet onward
+                # through the (fault-aware) packet-switched network, and
+                # the source is notified so it can tear down / demote
+                self.counters.inc("cs_link_fault")
+                if flit.is_head and self.on_circuit_fault is not None:
+                    self.on_circuit_fault(conn, flit.packet.src, cycle)
+                flit.is_circuit = False
+                flit.packet.circuit = False
+                self._cs_traverse(inport, LOCAL, flit, cycle, orphan=True)
+                return
             self._cs_traverse(inport, outport, flit, cycle)
             return
         # Orphaned circuit flit: its reservation disappeared mid-flight
@@ -151,6 +169,12 @@ class HybridRouter(PacketRouter):
             if self._cs_out_used[outport]:
                 inj.on_fail(inj.flit)
                 continue
+            if not self._link_up(outport):
+                # first hop of the circuit is dead: fall back to packet
+                # switching before the flit ever enters the fabric
+                self.counters.inc("cs_link_fault")
+                inj.on_fail(inj.flit)
+                continue
             self._cs_traverse(LOCAL, outport, inj.flit, cycle)
             inj.on_ok(inj.flit)
 
@@ -191,7 +215,7 @@ class HybridRouter(PacketRouter):
         if payload.ctype == ConfigType.TEARDOWN:
             return self._process_teardown(inport, pkt, payload, cycle)
         # acknowledgements route adaptively like any config packet
-        return self._route_adaptive(pkt)
+        return self._route_adaptive(pkt, inport)
 
     def _process_setup(self, inport: int, pkt, payload,
                        cycle: int) -> Optional[int]:
@@ -210,6 +234,11 @@ class HybridRouter(PacketRouter):
             candidates = [LOCAL]
         else:
             candidates = self._adaptive_candidates_by_credit(pkt)
+            if (self.link_health is not None
+                    and self.link_health.any_faults):
+                # never reserve a circuit across a dead link; an empty
+                # candidate list falls through to the rejection below
+                candidates = [p for p in candidates if self._link_up(p)]
         for outport in candidates:
             if st.can_reserve(inport, outport, slot, dur):
                 st.reserve(inport, outport, slot, dur, payload.conn_id)
@@ -250,6 +279,10 @@ class HybridRouter(PacketRouter):
         if self.dlt is not None:
             self.dlt.remove_conn(payload.conn_id)
         if outport == LOCAL:
-            return None   # full path torn down
+            # full path torn down; under the resilience protocol this
+            # node confirms the walk back to the source
+            if self.on_teardown_done is not None:
+                self.on_teardown_done(payload, cycle)
+            return None
         payload.slot_id = self.clock.wrap(slot + 2)
         return outport

@@ -1,0 +1,20 @@
+"""Fault-injection & resilience harness (robustness subsystem).
+
+Everything here is opt-in: with ``cfg.faults.enabled = False`` (the
+default) none of these objects exist, no extra RNG draws happen and the
+simulation is bit-identical to a build without this package.
+
+* :class:`~repro.faults.health.LinkHealthMap` — which inter-router links
+  are up, consulted by fault-aware routing and by circuit setup/demux;
+* :class:`~repro.faults.plan.FaultPlan` /
+  :class:`~repro.faults.plan.FaultInjector` — config-driven schedule of
+  link blackouts, CONFIG-message drops, router stalls and slot-table
+  corruption, driven from the simulator's seeded RNG;
+* :func:`~repro.faults.plan.attach_faults` — wires the harness (health
+  map, injector, NI config-loss hooks, watchdog) into a built network.
+"""
+
+from repro.faults.health import LinkHealthMap
+from repro.faults.plan import FaultInjector, FaultPlan, attach_faults
+
+__all__ = ["LinkHealthMap", "FaultInjector", "FaultPlan", "attach_faults"]

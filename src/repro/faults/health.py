@@ -1,0 +1,97 @@
+"""Link-health map: the ground truth of which mesh links are alive.
+
+One unidirectional inter-router link is identified by its upstream
+``(node, outport)``.  Failing a link flips the :class:`FlitLink` into
+drop mode (flits entering it are destroyed with cause) and records the
+direction as down so routing, circuit setup and the CS demux avoid it.
+
+Flits destroyed at a dead link return their consumed downstream credit
+to the upstream router — physically the credit loop of a dead link is
+also dead, but restoring the credit keeps the flow-control invariant
+exact so transiently-failed links come back at full bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.network.link import FlitLink
+from repro.network.topology import opposite_port
+
+
+class LinkHealthMap:
+    """Up/down state of every inter-router link of one network."""
+
+    def __init__(self, net) -> None:
+        self.net = net
+        self.mesh = net.mesh
+        #: (node, outport) -> FlitLink for every inter-router link
+        self._links: Dict[Tuple[int, int], FlitLink] = {}
+        self._down: Set[Tuple[int, int]] = set()
+        for router in net.routers:
+            for port in self.mesh.ports(router.node):
+                link = router.out_links[port]
+                if link is None:
+                    continue
+                self._links[(router.node, port)] = link
+                link.drop_sink = self._make_sink(router, port)
+
+    def _make_sink(self, router, outport: int):
+        ledger = self.net.ledger
+
+        def sink(flit) -> None:
+            ledger.drop("link_fault")
+            # give the consumed downstream credit back to the sender so
+            # a restored link resumes at full bandwidth
+            router.credits[outport][flit.vc] += 1
+
+        return sink
+
+    # ------------------------------------------------------------------
+    @property
+    def any_faults(self) -> bool:
+        return bool(self._down)
+
+    def up(self, node: int, outport: int) -> bool:
+        return (node, outport) not in self._down
+
+    def directions(self):
+        """All (node, outport) link directions in the map."""
+        return self._links.keys()
+
+    # ------------------------------------------------------------------
+    def fail(self, node: int, outport: int) -> bool:
+        """Take one direction down; returns False if unknown/already down."""
+        key = (node, outport)
+        link = self._links.get(key)
+        if link is None or key in self._down:
+            return False
+        self._down.add(key)
+        link.faulty = True
+        return True
+
+    def restore(self, node: int, outport: int) -> bool:
+        key = (node, outport)
+        link = self._links.get(key)
+        if link is None or key not in self._down:
+            return False
+        self._down.discard(key)
+        link.faulty = False
+        return True
+
+    # ------------------------------------------------------------------
+    def fail_bidir(self, node: int, outport: int) -> bool:
+        """Fail both directions of the physical channel."""
+        nbr = self.mesh.neighbor(node, outport)
+        a = self.fail(node, outport)
+        b = self.fail(nbr, opposite_port(outport))
+        return a or b
+
+    def restore_bidir(self, node: int, outport: int) -> bool:
+        nbr = self.mesh.neighbor(node, outport)
+        a = self.restore(node, outport)
+        b = self.restore(nbr, opposite_port(outport))
+        return a or b
+
+    def down_links(self) -> Set[Tuple[int, int]]:
+        return set(self._down)

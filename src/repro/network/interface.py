@@ -24,7 +24,7 @@ from repro.network.flit import Flit, Message, MessageClass, Packet
 from repro.network.link import CreditLink, FlitLink
 from repro.network.topology import LOCAL
 from repro.sim.kernel import SimObject
-from repro.sim.stats import Counter
+from repro.sim.stats import ConservationLedger, Counter
 
 
 class Endpoint:
@@ -87,6 +87,11 @@ class NetworkInterface(SimObject):
         self.on_packet_ejected: Optional[Callable] = None
         #: optional observer called with (message, cycle) on delivery
         self.on_message_delivered: Optional[Callable] = None
+        #: shared conservation ledger (network builder replaces it)
+        self.ledger = ConservationLedger()
+        #: fault hook: () -> bool, True to lose an outgoing CONFIG message
+        self.config_loss_fn: Optional[Callable[[], bool]] = None
+        self.config_drops = 0   #: CONFIG messages lost to injected faults
 
     # ------------------------------------------------------------------
     # message API
@@ -96,6 +101,14 @@ class NetworkInterface(SimObject):
         self.enqueue_ps(msg)
 
     def enqueue_ps(self, msg: Message, size_kind: Optional[str] = None) -> None:
+        if (msg.mclass == MessageClass.CONFIG
+                and self.config_loss_fn is not None
+                and self.config_loss_fn()):
+            # injected fault: the CONFIG message is lost before it ever
+            # becomes a flit (a lost SETUP / TEARDOWN / ACK)
+            self.config_drops += 1
+            self.counters.inc("config_dropped")
+            return
         if size_kind is None:
             size_kind = {
                 MessageClass.DATA: "ps_data",
@@ -154,6 +167,7 @@ class NetworkInterface(SimObject):
 
     def _receive_flit(self, flit: Flit, cycle: int) -> None:
         pkt = flit.packet
+        self.ledger.ejected += 1
         self.counters.inc("cs_flit_ejected" if flit.is_circuit
                           else "ps_flit_ejected")
         pkt.flits_received += 1
@@ -221,6 +235,7 @@ class NetworkInterface(SimObject):
             flit = stream.popleft()
             self.local_credits[vc] -= 1
             self.inject_link.send(flit, cycle)
+            self.ledger.injected += 1
             self.counters.inc("flit_injected")
             if not stream:
                 self.vc_in_use[vc] = None

@@ -22,9 +22,17 @@ HOP_LATENCY = 2
 
 
 class FlitLink:
-    """Unidirectional flit pipeline between two routers (or router<->NI)."""
+    """Unidirectional flit pipeline between two routers (or router<->NI).
 
-    __slots__ = ("latency", "_pipe", "flits_carried")
+    A link may be marked :attr:`faulty` by the fault-injection subsystem
+    (``repro.faults``): flits sent into a faulty link are dropped (the
+    wire is dead), reported through ``drop_sink`` so the conservation
+    ledger can account for them.  Flits already in the pipe when the
+    fault strikes were "on the wire" and still arrive.
+    """
+
+    __slots__ = ("latency", "_pipe", "flits_carried", "faulty",
+                 "flits_dropped", "drop_sink")
 
     def __init__(self, latency: int = HOP_LATENCY) -> None:
         if latency < 1:
@@ -32,9 +40,17 @@ class FlitLink:
         self.latency = latency
         self._pipe: Deque[Tuple[int, Flit]] = deque()
         self.flits_carried = 0
+        self.faulty = False
+        self.flits_dropped = 0
+        self.drop_sink = None   # set by the LinkHealthMap when faults on
 
     def send(self, flit: Flit, cycle: int) -> None:
         """Enqueue *flit* during *cycle*; it arrives at ``cycle+latency``."""
+        if self.faulty:
+            self.flits_dropped += 1
+            if self.drop_sink is not None:
+                self.drop_sink(flit)
+            return
         self._pipe.append((cycle + self.latency, flit))
         self.flits_carried += 1
 

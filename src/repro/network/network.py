@@ -20,7 +20,7 @@ from repro.network.link import CreditLink, FlitLink, HOP_LATENCY
 from repro.network.router import PacketRouter
 from repro.network.topology import LOCAL, Mesh, NUM_PORTS, opposite_port
 from repro.sim.kernel import Simulator
-from repro.sim.stats import Counter, LatencySample
+from repro.sim.stats import ConservationLedger, Counter, LatencySample
 
 
 class Network:
@@ -36,6 +36,16 @@ class Network:
         self.routers = routers
         self.interfaces = interfaces
         self.links = links
+
+        # conservation ledger: one shared account across every router
+        # and NI so injected == progressed + in-network at all times
+        self.ledger = ConservationLedger()
+        for r in routers:
+            r.ledger = self.ledger
+        for ni in interfaces:
+            ni.ledger = self.ledger
+        #: optional fault harness (set by repro.faults.attach_faults)
+        self.fault_harness = None
 
         # statistics ---------------------------------------------------
         self.measuring = True
@@ -143,6 +153,36 @@ class Network:
         return n
 
     # ------------------------------------------------------------------
+    # conservation audit
+    # ------------------------------------------------------------------
+    def in_network_flits(self) -> int:
+        """Flits inside the fabric proper (routers + links).
+
+        NI-side queues are excluded: the ledger counts a flit as injected
+        only when it enters its injection link.
+        """
+        n = sum(r.occupancy() for r in self.routers)
+        n += sum(link.in_flight for link in self.links)
+        return n
+
+    def conservation_imbalance(self) -> int:
+        """injected - (ejected + consumed + dropped) - in_network.
+
+        Zero at every phase boundary in a correct simulation; nonzero
+        means flits were silently created or destroyed.
+        """
+        return self.ledger.imbalance(self.in_network_flits())
+
+    def audit_conservation(self) -> Optional[str]:
+        """Return a human-readable violation description, or ``None``."""
+        imb = self.conservation_imbalance()
+        if imb == 0:
+            return None
+        return (f"flit conservation violated: imbalance={imb} "
+                f"({self.ledger.as_dict()}, "
+                f"in_network={self.in_network_flits()})")
+
+    # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
     def ni(self, node: int) -> NetworkInterface:
@@ -194,15 +234,20 @@ def _wire(cfg: NetworkConfig, sim: Simulator,
 def build_network(cfg: NetworkConfig, sim: Simulator) -> Network:
     """Build the network matching ``cfg.switching`` and register it."""
     if cfg.switching == "packet":
-        return _build(cfg, sim, PacketRouter, NetworkInterface, Network)
-    if cfg.switching == "tdm":
+        net = _build(cfg, sim, PacketRouter, NetworkInterface, Network)
+    elif cfg.switching == "tdm":
         # local import to avoid a core <-> network import cycle
         from repro.core.hybrid_network import build_hybrid_network
-        return build_hybrid_network(cfg, sim)
-    if cfg.switching == "sdm":
+        net = build_hybrid_network(cfg, sim)
+    elif cfg.switching == "sdm":
         from repro.sdm.network import build_sdm_network
-        return build_sdm_network(cfg, sim)
-    raise ValueError(f"unknown switching mode {cfg.switching!r}")
+        net = build_sdm_network(cfg, sim)
+    else:
+        raise ValueError(f"unknown switching mode {cfg.switching!r}")
+    if cfg.faults.enabled:
+        from repro.faults import attach_faults
+        attach_faults(net, sim)
+    return net
 
 
 def _build(cfg: NetworkConfig, sim: Simulator,

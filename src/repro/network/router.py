@@ -32,10 +32,11 @@ from repro.config import NetworkConfig
 from repro.network.buffers import InputPort
 from repro.network.flit import Flit, MessageClass
 from repro.network.link import CreditLink, FlitLink
-from repro.network.routing import oe_candidate_outports, xy_outport
+from repro.network.routing import (MISROUTE_LIMIT, fault_aware_outports,
+                                   oe_candidate_outports, xy_outport)
 from repro.network.topology import LOCAL, Mesh, NUM_PORTS
 from repro.sim.kernel import SimObject
-from repro.sim.stats import Counter, TimeWeighted
+from repro.sim.stats import ConservationLedger, Counter, TimeWeighted
 
 #: effectively-infinite credits for the ejection port (the NI always sinks)
 EJECT_CREDITS = 1 << 30
@@ -93,6 +94,16 @@ class PacketRouter(SimObject):
         #                                  loops when nothing is buffered
         self.rng = None  # set by builder (shared simulator generator)
 
+        # resilience/fault-injection state --------------------------------
+        #: shared flit-conservation ledger (the network builder replaces
+        #: the private default with the network-wide instance)
+        self.ledger = ConservationLedger()
+        #: link-health map consulted by routing when faults are injected
+        self.link_health = None
+        #: a fault-injected router stall freezes the transfer phase (the
+        #: pipeline clock is held) until this cycle
+        self.stalled_until = 0
+
     # ------------------------------------------------------------------
     # wiring helpers (used by the network builder)
     # ------------------------------------------------------------------
@@ -135,6 +146,8 @@ class PacketRouter(SimObject):
                     self._arrivals[inport].extend(flits)
 
     def transfer(self, cycle: int) -> None:
+        if cycle < self.stalled_until:
+            return
         self._process_arrivals(cycle)
         if self._buffered_flits:
             self._route_and_va(cycle)
@@ -163,6 +176,13 @@ class PacketRouter(SimObject):
         self._buffer_write(inport, flit, cycle)
 
     def _buffer_write(self, inport: int, flit: Flit, cycle: int) -> None:
+        if flit.packet.dropped:
+            # trailing flit of a packet already killed by a fault: the
+            # buffer slot was never really claimed, return the credit
+            self.ledger.drop("packet_killed")
+            self.counters.inc("flit_discarded")
+            self._return_credit(inport, flit.vc, cycle)
+            return
         vcobj = self.in_ports[inport].vcs[flit.vc]
         vcobj.push(flit)
         flit.ready_cycle = cycle + self.rcfg.ps_pipeline_latency
@@ -182,10 +202,18 @@ class PacketRouter(SimObject):
                     continue
                 if vcobj.route_outport is None:
                     out = self._compute_route(inport, head, cycle)
-                    if out is None:  # packet consumed (config processing)
+                    if out is None:
+                        # packet consumed here (config processing) or
+                        # killed by a fault (dead-link drop)
                         vcobj.pop()
                         self._buffered_flits -= 1
                         self._return_credit(inport, invc, cycle)
+                        if head.packet.dropped:
+                            self.ledger.drop("packet_killed")
+                            self._drain_dropped(vcobj, head.packet,
+                                                inport, invc, cycle)
+                        else:
+                            self.ledger.consumed += 1
                         continue
                     vcobj.route_outport = out
                 ovc = self._allocate_out_vc(
@@ -200,17 +228,55 @@ class PacketRouter(SimObject):
                        cycle: int) -> Optional[int]:
         """Choose the output port for *head*'s packet at this router.
 
-        Returns None when the packet is consumed here (only happens for
-        configuration messages in the hybrid router override).
+        Returns None when the packet is consumed here (configuration
+        messages in the hybrid router override) or killed by a fault
+        (``head.packet.dropped`` is then set).
         """
         pkt = head.packet
         if pkt.mclass == MessageClass.CONFIG:
-            return self._route_adaptive(pkt)
+            return self._route_adaptive(pkt, inport)
+        lh = self.link_health
+        if lh is not None and lh.any_faults:
+            return self._route_fault_aware(inport, pkt)
         return xy_outport(self.mesh, self.node, pkt.dst)
 
-    def _route_adaptive(self, pkt) -> int:
-        """Minimal adaptive (odd-even) selection by downstream credit."""
+    def _route_adaptive(self, pkt, inport: int = LOCAL) -> Optional[int]:
+        """Minimal adaptive (odd-even) selection by downstream credit;
+        consults the link-health map when faults are injected."""
+        lh = self.link_health
+        if lh is not None and lh.any_faults:
+            return self._route_fault_aware(inport, pkt)
         cands = oe_candidate_outports(self.mesh, self.node, pkt.src, pkt.dst)
+        return self._best_by_credit(cands)
+
+    def _route_fault_aware(self, inport: int, pkt) -> Optional[int]:
+        """Minimal-adaptive routing around dead links, with a bounded
+        non-minimal escape; undeliverable packets are dropped with cause."""
+        cands = fault_aware_outports(self.mesh, self.link_health,
+                                     self.node, pkt.src, pkt.dst,
+                                     arrival_port=inport)
+        if not cands:
+            pkt.dropped = True
+            self.counters.inc("pkt_dropped_unreachable")
+            return None
+        out = self._best_by_credit(cands)
+        minimal = oe_candidate_outports(self.mesh, self.node, pkt.src,
+                                        pkt.dst)
+        if out not in minimal:
+            pkt.misroutes += 1
+            if pkt.misroutes > MISROUTE_LIMIT:
+                pkt.dropped = True
+                self.counters.inc("pkt_dropped_misroute_limit")
+                return None
+            self.counters.inc("misroute")
+        return out
+
+    def _link_up(self, outport: int) -> bool:
+        """True when the output link is healthy (or no faults exist)."""
+        return (outport == LOCAL or self.link_health is None
+                or self.link_health.up(self.node, outport))
+
+    def _best_by_credit(self, cands: List[int]) -> int:
         if len(cands) == 1:
             return cands[0]
         best, best_free = cands[0], -1
@@ -321,6 +387,17 @@ class PacketRouter(SimObject):
         if clink is not None:
             clink.send(invc, cycle)
 
+    def _drain_dropped(self, vcobj, pkt, inport: int, invc: int,
+                       cycle: int) -> None:
+        """Flush already-buffered flits of a fault-killed packet so the
+        VC does not wedge behind a headless wormhole."""
+        while vcobj.fifo and vcobj.fifo[0].packet is pkt:
+            vcobj.pop()
+            self._buffered_flits -= 1
+            self.ledger.drop("packet_killed")
+            self.counters.inc("flit_discarded")
+            self._return_credit(inport, invc, cycle)
+
     # ------------------------------------------------------------------
     # VC power gating support (controller lives in repro.core.vc_gating)
     # ------------------------------------------------------------------
@@ -368,5 +445,13 @@ class PacketRouter(SimObject):
 
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
-        """Total buffered flits (used by drain checks and tests)."""
-        return sum(p.occupancy() for p in self.in_ports)
+        """Total buffered flits (used by drain checks and tests).
+
+        Includes arrivals staged during ``deliver`` that a stalled
+        router has not yet buffer-written, so the conservation audit
+        stays exact across fault-injected router stalls.
+        """
+        n = sum(p.occupancy() for p in self.in_ports)
+        for staged in self._arrivals:
+            n += len(staged)
+        return n

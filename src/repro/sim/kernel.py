@@ -21,12 +21,28 @@ All randomness must come from :attr:`Simulator.rng` (a seeded NumPy
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 #: Canonical phase names in execution order.
 PHASES = ("deliver", "transfer", "inject", "control")
+
+
+class LivelockError(RuntimeError):
+    """Raised by :class:`Watchdog` when the simulation stops resolving
+    flits while work is still in flight (a livelock or deadlock), instead
+    of letting the run spin silently to its cycle budget."""
+
+    def __init__(self, cycle: int, in_flight: int, stalled_cycles: int,
+                 diagnosis: Optional[Dict] = None) -> None:
+        self.cycle = cycle
+        self.in_flight = in_flight
+        self.stalled_cycles = stalled_cycles
+        self.diagnosis = diagnosis or {}
+        super().__init__(
+            f"no forward progress for {stalled_cycles} cycles at cycle "
+            f"{cycle} with {in_flight} flits in flight: {self.diagnosis}")
 
 
 class SimObject:
@@ -49,6 +65,60 @@ class SimObject:
 
     def control(self, cycle: int) -> None:  # pragma: no cover - trivial
         pass
+
+
+class Watchdog(SimObject):
+    """Periodic liveness + conservation auditor (``control`` phase).
+
+    ``progress_fn`` must be monotonic (e.g.
+    :attr:`~repro.sim.stats.ConservationLedger.progress`); ``in_flight_fn``
+    reports flits currently inside the network.  Every ``interval``
+    cycles the watchdog (a) runs the optional ``audit_fn`` and records a
+    violation when it returns a non-None report, and (b) raises
+    :class:`LivelockError` after ``patience`` consecutive checks without
+    progress while work is in flight.
+    """
+
+    def __init__(self, interval: int, patience: int,
+                 progress_fn: Callable[[], int],
+                 in_flight_fn: Callable[[], int],
+                 audit_fn: Optional[Callable[[], Optional[Dict]]] = None,
+                 ) -> None:
+        if interval < 1 or patience < 1:
+            raise ValueError("interval and patience must be >= 1")
+        self.interval = interval
+        self.patience = patience
+        self.progress_fn = progress_fn
+        self.in_flight_fn = in_flight_fn
+        self.audit_fn = audit_fn
+        self._last_progress = -1
+        self._stalled_checks = 0
+        self.checks = 0
+        self.audit_violations = 0
+        self.last_violation: Optional[Dict] = None
+
+    def control(self, cycle: int) -> None:
+        if cycle == 0 or cycle % self.interval:
+            return
+        self.checks += 1
+        if self.audit_fn is not None:
+            report = self.audit_fn()
+            if report is not None:
+                self.audit_violations += 1
+                self.last_violation = dict(report, cycle=cycle)
+        progress = self.progress_fn()
+        in_flight = self.in_flight_fn()
+        if in_flight > 0 and progress == self._last_progress:
+            self._stalled_checks += 1
+            if self._stalled_checks >= self.patience:
+                raise LivelockError(
+                    cycle, in_flight,
+                    self._stalled_checks * self.interval,
+                    diagnosis={"progress": progress,
+                               "audit_violations": self.audit_violations})
+        else:
+            self._stalled_checks = 0
+        self._last_progress = progress
 
 
 def _overrides(obj: SimObject, name: str) -> bool:

@@ -194,3 +194,73 @@ class TestResetAll:
         assert not mgr.connections
         assert not mgr.by_id
         assert len(mgr.dlt) == 0
+
+
+class TestResizeStaleAck:
+    def test_resize_while_setup_in_flight_leaves_no_ghost(self):
+        """A table resize drops every connection record; the setup that
+        was already in flight must resolve through the stale-ack path
+        without resurrecting a connection or leaking reservations."""
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        mgr = net.managers[0]
+        mgr._maybe_setup(9, sim.cycle)
+        conn = mgr.connections[9]
+        stale_id = conn.conn_id
+        sim.run(4)                       # SETUP is mid-flight, no ack yet
+        assert mgr.connections[9].state is ConnState.PENDING
+        ctl = net.size_controller
+        net.clock.active = 64            # leave headroom so resize fires
+        ctl._resize_pending = True
+        old_gen = net.clock.generation
+        ctl.control(sim.cycle)
+        assert net.clock.generation == old_gen + 1
+        assert not mgr.connections       # reset_all dropped the record
+        sim.run(300)
+        assert 9 not in mgr.connections  # no ghost connection appeared
+        assert stale_id not in mgr.by_id
+        assert mgr.setups_ok == 0
+        active = net.clock.active
+        reserved = sum(t.reserved_count(active)
+                       for r in net.routers for t in r.slot_state.in_tables)
+        assert reserved == 0             # cleanup teardown walked the path
+
+
+class TestChooseSlot:
+    def _fill_all_but(self, net, mgr, free_start):
+        table = net.routers[0].slot_state.in_tables[LOCAL]
+        active = net.clock.active
+        duration = mgr.reserve_duration
+        free = {(free_start + i) % active for i in range(duration)}
+        for s in range(active):
+            if s not in free:
+                table.set(s, LOCAL, 999)
+
+    def test_base_protocol_probes_may_give_up(self):
+        sim, net = build("hybrid_tdm_vc4", 6, 6)
+        mgr = net.managers[0]
+        assert not mgr.ccfg.resilience_enabled
+        net.clock.active = net.clock.max_size   # make probe hits rare
+        free_start = net.clock.active - mgr.reserve_duration
+        self._fill_all_but(net, mgr, free_start)
+        results = [mgr._choose_slot(mgr.reserve_duration)
+                   for _ in range(20)]
+        assert None in results                  # the 8 probes gave up
+        assert set(results) <= {None, free_start}
+
+    def test_resilience_scan_always_finds_the_free_window(self):
+        from dataclasses import replace
+
+        from repro.config import scheme_config
+        from repro.network.network import build_network
+        from repro.sim.kernel import Simulator
+
+        cfg = scheme_config("hybrid_tdm_vc4", width=6, height=6)
+        cfg = replace(cfg, circuit=replace(cfg.circuit, setup_timeout=64))
+        sim = Simulator(seed=1)
+        net = build_network(cfg, sim)
+        mgr = net.managers[0]
+        net.clock.active = net.clock.max_size
+        free_start = net.clock.active - mgr.reserve_duration
+        self._fill_all_but(net, mgr, free_start)
+        for _ in range(20):
+            assert mgr._choose_slot(mgr.reserve_duration) == free_start

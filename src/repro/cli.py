@@ -13,11 +13,18 @@ Commands
               fig9/table3) via the experiment harness
 ``inspect``   run a short simulation and dump live state (slot tables,
               occupancy heatmap, circuits)
+``verify-replay``  snapshot mid-run, restore into a fresh build, re-run
+              and fail loudly on any state-hash/stats divergence
+``resume``    pick up a killed supervised sweep (``sweep --supervised``)
+              where it left off
 
 Examples
 --------
 
     python -m repro sweep transpose --rates 0.1,0.3,0.5
+    python -m repro sweep transpose --supervised --run-dir runs/t1
+    python -m repro resume runs/t1
+    python -m repro verify-replay --schemes packet_vc4,hybrid_tdm_vc4
     python -m repro hetero ART BLACKSCHOLES
     python -m repro fig fig5 --csv out.csv
     python -m repro inspect --scheme hybrid_tdm_vc4 --pattern tornado
@@ -50,8 +57,11 @@ def _emit(headers, rows, title: str, csv_path: Optional[str]) -> None:
 # ---------------------------------------------------------------------------
 def cmd_sweep(args) -> int:
     rates = [float(r) for r in args.rates.split(",")]
+    schemes = args.schemes.split(",")
+    if args.supervised:
+        return _supervised_sweep(args, schemes, rates)
     rows = []
-    for scheme in args.schemes.split(","):
+    for scheme in schemes:
         for r in load_latency_sweep(scheme, args.pattern, rates=rates,
                                     seed=args.seed):
             rows.append((scheme, r.offered, r.accepted, r.avg_latency,
@@ -59,6 +69,78 @@ def cmd_sweep(args) -> int:
     _emit(("scheme", "offered", "accepted", "avg_lat", "p99", "cs_frac"),
           rows, f"Load-latency sweep: {args.pattern}", args.csv)
     return 0
+
+
+def _print_sweep_summary(summary) -> None:
+    rows = [(res["row"].get("scheme", "?"), res["row"].get("offered", 0.0),
+             res["row"].get("accepted", float("nan")),
+             res["row"].get("avg_latency", float("nan")),
+             res["row"].get("p99_latency", float("nan")),
+             res["row"].get("note", "") or res["status"])
+            for res in summary["results"]]
+    print(format_table(
+        ("scheme", "offered", "accepted", "avg_lat", "p99", "status"),
+        rows, title="Supervised sweep results"))
+    print(f"\n{summary['completed']}/{summary['total']} points completed "
+          f"({summary['skipped']} already done), "
+          f"{len(summary['failures'])} failures")
+    for failure in summary["failures"]:
+        pt = failure["point"]
+        print(f"  point {failure['index']} "
+              f"({pt['scheme']} @ {pt['rate']}): {failure['outcome']} "
+              f"after {failure['attempts']} attempt(s)")
+
+
+def _supervised_sweep(args, schemes, rates) -> int:
+    from repro.config import CheckpointConfig, SupervisorConfig
+    from repro.harness.supervisor import (build_sweep_points,
+                                          run_supervised_sweep)
+
+    if not args.run_dir:
+        print("--supervised requires --run-dir", file=sys.stderr)
+        return 2
+    sup = SupervisorConfig(enabled=True, timeout_s=args.timeout,
+                           max_retries=args.retries)
+    ckpt = CheckpointConfig(enabled=args.checkpoint_cycles > 0,
+                            interval_cycles=args.checkpoint_cycles)
+    points = build_sweep_points(schemes, args.pattern, rates,
+                                seed=args.seed)
+
+    def progress(index, point, outcome, attempts):
+        print(f"[{index + 1}/{len(points)}] {point['scheme']} "
+              f"@ {point['rate']}: {outcome}")
+
+    summary = run_supervised_sweep(points, args.run_dir, sup, ckpt,
+                                   progress=progress)
+    _print_sweep_summary(summary)
+    return 0 if not summary["failures"] else 1
+
+
+def cmd_resume(args) -> int:
+    from repro.harness.supervisor import resume_sweep
+    summary = resume_sweep(args.run_dir)
+    _print_sweep_summary(summary)
+    return 0 if not summary["failures"] else 1
+
+
+def cmd_verify_replay(args) -> int:
+    from repro.harness.verify import verify_replay
+
+    failed = False
+    for scheme in args.schemes.split(","):
+        report = verify_replay(
+            scheme, pattern=args.pattern, rate=args.rate,
+            pre_cycles=args.pre, post_cycles=args.post, seed=args.seed,
+            width=args.width, height=args.height,
+            slot_table_size=args.slot_table_size)
+        verdict = "PASS" if report.ok else "FAIL"
+        print(f"{verdict} {scheme}: restore={report.restore_hash_ok} "
+              f"final={report.final_hash_ok} stats={report.stats_ok} "
+              f"(snapshot {report.hash_at_snapshot[:16]})")
+        for mismatch in report.mismatches:
+            print(f"    {mismatch}")
+        failed = failed or not report.ok
+    return 1 if failed else 0
 
 
 def cmd_energy(args) -> int:
@@ -171,8 +253,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rates", default="0.05,0.15,0.25,0.35,0.45")
     p.add_argument("--schemes",
                    default="packet_vc4,hybrid_tdm_vc4,hybrid_tdm_vct")
+    p.add_argument("--supervised", action="store_true",
+                   help="run each point in a supervised subprocess with "
+                        "timeout/retry and a failure manifest")
+    p.add_argument("--run-dir", default=None,
+                   help="directory for supervised results (resumable)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-point wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries for crashed/timed-out points")
+    p.add_argument("--checkpoint-cycles", type=int, default=0,
+                   help="snapshot each point's state every N cycles")
     _add_common(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("resume",
+                       help="resume a killed supervised sweep")
+    p.add_argument("run_dir", help="run directory from sweep --supervised")
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser("verify-replay",
+                       help="verify snapshot/restore determinism")
+    p.add_argument("--schemes", default="packet_vc4,hybrid_tdm_vc4")
+    p.add_argument("--pattern", default="transpose")
+    p.add_argument("--rate", type=float, default=0.15)
+    p.add_argument("--pre", type=int, default=600,
+                   help="cycles before the snapshot")
+    p.add_argument("--post", type=int, default=600,
+                   help="cycles replayed after the snapshot")
+    p.add_argument("--width", type=int, default=4)
+    p.add_argument("--height", type=int, default=4)
+    p.add_argument("--slot-table-size", type=int, default=64)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_verify_replay)
 
     p = sub.add_parser("energy", help="energy comparison (Figure 5 style)")
     p.add_argument("pattern", nargs="?", default="tornado")

@@ -247,6 +247,46 @@ class SDMConfig:
 
 
 @dataclass
+class CheckpointConfig:
+    """Crash-safe snapshotting of long runs (off by default: zero
+    overhead, bit-identical default artefacts)."""
+
+    enabled: bool = False
+    interval_cycles: int = 0      #: snapshot period; 0 = only explicit
+    directory: str = ""           #: where snapshots land ("" = run dir)
+    keep: int = 2                 #: rotated snapshots retained on disk
+
+    def __post_init__(self) -> None:
+        if self.interval_cycles < 0:
+            raise ValueError("interval_cycles must be >= 0")
+        if self.keep < 1:
+            raise ValueError("keep must be >= 1")
+
+
+@dataclass
+class SupervisorConfig:
+    """Supervised sweep execution: per-point subprocesses with timeouts
+    and capped-backoff retries (off by default)."""
+
+    enabled: bool = False
+    timeout_s: float = 300.0      #: wall-clock budget per sweep point
+    max_retries: int = 2          #: retries for transient failures
+    backoff_s: float = 1.0        #: first retry delay
+    backoff_factor: float = 2.0   #: exponential growth per retry
+    backoff_cap_s: float = 30.0   #: delay ceiling
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+
+@dataclass
 class NetworkConfig:
     """Complete description of one simulated network instance."""
 
@@ -258,6 +298,8 @@ class NetworkConfig:
     vc_gating: VCGatingConfig = field(default_factory=VCGatingConfig)
     sdm: SDMConfig = field(default_factory=SDMConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
     #: 'packet', 'tdm' or 'sdm'
     switching: str = "tdm"
 

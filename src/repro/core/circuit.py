@@ -19,7 +19,6 @@ messages sent *after* the ACK registers the connection use the circuit.
 
 from __future__ import annotations
 
-import itertools
 from enum import Enum
 from typing import Callable, Dict, List, NamedTuple, Optional, Set
 
@@ -32,11 +31,17 @@ from repro.core.decision import (
 )
 from repro.core.sharing import DestinationLookupTable, SaturatingCounter
 from repro.core.slot_table import SlotClock
-from repro.network.flit import ConfigPayload, ConfigType, Message, MessageClass
+from repro.network.flit import (
+    ConfigPayload,
+    ConfigType,
+    IdSource,
+    Message,
+    MessageClass,
+)
 from repro.network.topology import LOCAL, Mesh
 from repro.sim.kernel import SimObject
 
-_conn_ids = itertools.count(1)
+_conn_ids = IdSource(1)
 
 
 class ConnState(Enum):
@@ -93,6 +98,19 @@ class ConnectionManager(SimObject):
     loss-tolerant: pending setups and teardown walks time out, retry with
     bounded exponential backoff, and repeatedly-failing destination pairs
     are demoted to pure packet switching for a cool-down period."""
+
+    # Connection objects are shared between ``connections``, ``by_id``
+    # and ``_tearing``; the single-pass snapshot freeze preserves that
+    # sharing.  Wiring (ni/router/mesh/clock/cfg/dlt/decision_fn/...) is
+    # rebuilt by the network constructor and excluded.
+    _state_attrs = (
+        "connections", "by_id", "_dst_counts", "_window_end",
+        "_vicinity_fail", "_tearing", "_fail_streak", "_demoted",
+        "_fault_since", "_nacked", "recovery_samples",
+        "setups_sent", "setups_ok", "setups_failed", "teardowns_sent",
+        "cs_messages", "shared_messages", "setups_timed_out",
+        "teardowns_timed_out", "teardowns_confirmed", "circuits_nacked",
+        "pairs_demoted")
 
     def __init__(self, node: int, cfg: NetworkConfig, clock: SlotClock,
                  mesh: Mesh, ni, router,
@@ -326,7 +344,7 @@ class ConnectionManager(SimObject):
                 self.size_controller.note_setup_result(False)
             return
         if conn is None:
-            conn = Connection(next(_conn_ids), self.node, dst, slot0,
+            conn = Connection(_conn_ids(), self.node, dst, slot0,
                               duration, now)
             self.connections[dst] = conn
             self.by_id[conn.conn_id] = conn
@@ -334,7 +352,7 @@ class ConnectionManager(SimObject):
             # retry: fresh id so stale partial reservations cannot alias
             # (a timed-out conn was already dropped from by_id)
             self.by_id.pop(conn.conn_id, None)
-            conn.conn_id = next(_conn_ids)
+            conn.conn_id = _conn_ids()
             conn.slot0 = slot0
             conn.state = ConnState.PENDING
             self.by_id[conn.conn_id] = conn

@@ -50,6 +50,38 @@ class HybridNetwork(Network):
                    if c.state is ConnState.ACTIVE)
 
     # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update({
+            "clock": {"active": self.clock.active,
+                      "generation": self.clock.generation},
+            "managers": [m.state_dict() for m in self.managers],
+            "size_controller": None if self.size_controller is None
+            else self.size_controller.state_dict(),
+        })
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        # clock first: slot arithmetic during any later wiring fix-ups
+        # must already see the restored wheel size.  The SlotClock object
+        # is shared by every router/manager, so mutate it in place.
+        self.clock.active = state["clock"]["active"]
+        self.clock.generation = state["clock"]["generation"]
+        super().load_state_dict(state)
+        for m, sub in zip(self.managers, state["managers"], strict=True):
+            m.load_state_dict(sub)
+        if self.size_controller is not None \
+                and state["size_controller"] is not None:
+            self.size_controller.load_state_dict(state["size_controller"])
+        # relink shared objects and rebuild NI-bound injection callbacks
+        for router, ni, manager in zip(self.routers, self.interfaces,
+                                       self.managers, strict=True):
+            manager.dlt = router.dlt
+            router.rebind_cs_injections(ni)
+
+    # ------------------------------------------------------------------
     # resilience: orphaned-reservation GC
     # ------------------------------------------------------------------
     def collect_orphans(self) -> int:

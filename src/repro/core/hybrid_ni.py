@@ -57,13 +57,12 @@ class HybridNetworkInterface(NetworkInterface):
         flits = pkt.make_flits()
         token = {"cancelled": False, "plan": plan, "pkt": pkt,
                  "pending": deque(flits)}
+        on_ok, on_fail = self.make_cs_callbacks(token)
         for i, flit in enumerate(flits):
             flit.is_circuit = True
             self.router.schedule_cs_injection(
                 plan.t0 + i, flit, plan.expected_outport,
-                on_ok=lambda f, t=token: self._cs_flit_ok(f, t),
-                on_fail=lambda f, t=token: self._cs_flit_failed(f, t),
-                token=token,
+                on_ok=on_ok, on_fail=on_fail, token=token,
             )
         self._cs_outstanding += plan.size
         self.sent_messages += 1
@@ -97,6 +96,27 @@ class HybridNetworkInterface(NetworkInterface):
         # already left continue on the circuit and reassemble by count
         self.enqueue_stream(pkt, deque(pending))
         pending.clear()
+
+    def make_cs_callbacks(self, token: dict):
+        """(on_ok, on_fail) pair bound to *token* — used by the send
+        path above and by snapshot restore to rebuild the callbacks the
+        router could not serialize."""
+        return (lambda f, t=token: self._cs_flit_ok(f, t),
+                lambda f, t=token: self._cs_flit_failed(f, t))
+
+    # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update({"cs_outstanding": self._cs_outstanding,
+                      "now": self._now})
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._cs_outstanding = state["cs_outstanding"]
+        self._now = state["now"]
 
     # ------------------------------------------------------------------
     @property

@@ -179,6 +179,56 @@ class HybridRouter(PacketRouter):
             inj.on_ok(inj.flit)
 
     # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Packet-router state plus slot tables, the node DLT and the
+        pending circuit-injection schedule.
+
+        CSInjection callbacks are closures over the NI and cannot be
+        serialized: only ``(flit, expected_outport, token)`` is captured
+        and the network-level load rebinds fresh callbacks through
+        :meth:`rebind_cs_injections` (the token dict carries everything
+        the NI needs, and its identity is shared with the NI's own
+        outstanding-circuit state through the one-pass freeze)."""
+        state = super().state_dict()
+        state.update({
+            "slot_tables": list(self.slot_state.in_tables),
+            "out_owner": [list(row) for row in self.slot_state.out_owner],
+            "dlt": self.dlt,
+            "cs_inject": {
+                cycle: [(inj.flit, inj.expected_outport, inj.token)
+                        for inj in lst]
+                for cycle, lst in self._cs_inject.items()},
+            "cs_in_used": list(self._cs_in_used),
+            "cs_out_used": list(self._cs_out_used),
+        })
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.slot_state.in_tables = list(state["slot_tables"])
+        self.slot_state.out_owner = [list(row) for row in state["out_owner"]]
+        self.dlt = state["dlt"]
+        self._cs_in_used = list(state["cs_in_used"])
+        self._cs_out_used = list(state["cs_out_used"])
+        # callbacks are rebuilt once the NI reference is known
+        self._cs_inject_raw = state["cs_inject"]
+        self._cs_inject = {}
+
+    def rebind_cs_injections(self, ni) -> None:
+        """Rebuild the pending-injection schedule with fresh NI-bound
+        callbacks (called by the network after both sides loaded)."""
+        raw = getattr(self, "_cs_inject_raw", None)
+        if raw is None:
+            return
+        del self._cs_inject_raw
+        self._cs_inject = {
+            cycle: [CSInjection(flit, exp, *ni.make_cs_callbacks(token), token)
+                    for flit, exp, token in entries]
+            for cycle, entries in raw.items()}
+
+    # ------------------------------------------------------------------
     # packet pipeline interaction (time-slot stealing)
     # ------------------------------------------------------------------
     def _cs_used_inports(self, cycle: int) -> List[bool]:

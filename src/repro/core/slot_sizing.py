@@ -23,6 +23,11 @@ from repro.sim.stats import TimeWeighted
 class SlotSizeController(SimObject):
     """Network-global controller of the active slot-table size."""
 
+    # clock/routers/managers are shared wiring; the clock's active size
+    # and generation are restored by the network-level snapshot
+    _state_attrs = ("_consecutive_failures", "_resize_pending", "resizes",
+                    "entries_integral")
+
     def __init__(self, clock: SlotClock, cfg: SlotTableConfig,
                  routers: List, managers: List) -> None:
         self.clock = clock

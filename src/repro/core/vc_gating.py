@@ -68,3 +68,14 @@ class VCGatingController:
     @property
     def draining_vc(self) -> int:
         return self._draining
+
+    def state_dict(self) -> dict:
+        return {"next_epoch": self._next_epoch, "draining": self._draining,
+                "activations": self.activations,
+                "deactivations": self.deactivations}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._next_epoch = state["next_epoch"]
+        self._draining = state["draining"]
+        self.activations = state["activations"]
+        self.deactivations = state["deactivations"]

@@ -95,3 +95,15 @@ class LinkHealthMap:
 
     def down_links(self) -> Set[Tuple[int, int]]:
         return set(self._down)
+
+    def set_down(self, directions) -> None:
+        """Make exactly *directions* the down set (snapshot restore).
+
+        Every current fault is first restored, then each direction is
+        failed again, so the per-link ``faulty`` flags stay consistent
+        with the map regardless of either side's previous state.
+        """
+        for node, outport in sorted(self._down):
+            self.restore(node, outport)
+        for node, outport in directions:
+            self.fail(node, outport)

@@ -76,6 +76,35 @@ class FaultInjector(SimObject):
         self.slots_corrupted = 0
 
     # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "pending": list(self._pending),
+            "restores": list(self._restores),
+            "links_failed": self.links_failed,
+            "transients_injected": self.transients_injected,
+            "stalls_injected": self.stalls_injected,
+            "slots_corrupted": self.slots_corrupted,
+            # the down-link set is re-applied through the health map so
+            # its derived flags stay consistent with restored link state
+            "health_down": sorted(self.health.down_links()),
+            "watchdog": None if self.watchdog is None
+            else self.watchdog.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._pending = [tuple(p) for p in state["pending"]]
+        self._restores = [tuple(r) for r in state["restores"]]
+        self.links_failed = state["links_failed"]
+        self.transients_injected = state["transients_injected"]
+        self.stalls_injected = state["stalls_injected"]
+        self.slots_corrupted = state["slots_corrupted"]
+        self.health.set_down([tuple(d) for d in state["health_down"]])
+        if self.watchdog is not None and state["watchdog"] is not None:
+            self.watchdog.load_state_dict(state["watchdog"])
+
+    # ------------------------------------------------------------------
     def control(self, cycle: int) -> None:
         fcfg = self.fcfg
         self._apply_restores(cycle)

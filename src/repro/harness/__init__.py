@@ -14,19 +14,34 @@ Experiment sizes scale with the ``REPRO_SCALE`` environment variable
 
 from repro.harness.runner import (
     SynthRun,
+    prepare_synthetic,
     run_synthetic,
     load_latency_sweep,
     saturation_throughput,
 )
 from repro.harness.report import format_table, write_csv
+from repro.harness.supervisor import (
+    build_sweep_points,
+    load_results,
+    resume_sweep,
+    run_supervised_sweep,
+)
+from repro.harness.verify import ReplayReport, verify_replay
 from repro.harness import experiments
 
 __all__ = [
     "SynthRun",
+    "prepare_synthetic",
     "run_synthetic",
     "load_latency_sweep",
     "saturation_throughput",
     "format_table",
     "write_csv",
     "experiments",
+    "build_sweep_points",
+    "load_results",
+    "resume_sweep",
+    "run_supervised_sweep",
+    "ReplayReport",
+    "verify_replay",
 ]

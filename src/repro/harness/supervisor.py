@@ -1,0 +1,272 @@
+"""Supervised sweep execution: isolate, time-limit, retry, resume.
+
+Long sweeps (Fig. 4/5-style grids at ``REPRO_SCALE=4``) die today if a
+single point crashes, OOMs or trips the livelock watchdog.  The
+supervisor runs every sweep point in its own subprocess with a
+wall-clock timeout:
+
+* a point that completes writes its result as an atomic JSON file;
+* a point that **livelocks** is permanent: the partial result is kept,
+  the point is recorded in the failure manifest, no retry;
+* a point that **crashes or times out** is transient: it is retried
+  with capped exponential backoff up to ``max_retries`` times, then
+  recorded in the manifest — and the sweep always continues;
+* long points may checkpoint periodically (``checkpoint_cycles``), so a
+  crash retry resumes mid-run instead of starting over.
+
+``run_supervised_sweep`` skips points whose result file already exists,
+which makes ``resume_sweep`` (the ``repro resume <run-dir>`` command)
+a one-liner: re-launch the sweep recorded in ``sweep.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import CheckpointConfig, SupervisorConfig
+
+#: result-file status values
+STATUS_OK = "ok"
+STATUS_LIVELOCK = "livelock"
+
+
+# ---------------------------------------------------------------------------
+# point specs and file layout
+# ---------------------------------------------------------------------------
+def build_sweep_points(schemes: Sequence[str], pattern: str,
+                       rates: Sequence[float], seed: int = 1,
+                       width: int = 6, height: int = 6,
+                       slot_table_size: int = 128,
+                       warmup: int = 1500,
+                       measure: int = 4000) -> List[Dict]:
+    """The (scheme x rate) grid as plain-dict point specs."""
+    return [{"scheme": scheme, "pattern": pattern, "rate": float(rate),
+             "seed": seed, "width": width, "height": height,
+             "slot_table_size": slot_table_size,
+             "warmup": warmup, "measure": measure}
+            for scheme in schemes for rate in rates]
+
+
+def _points_dir(run_dir: str) -> str:
+    return os.path.join(run_dir, "points")
+
+
+def _result_path(run_dir: str, index: int) -> str:
+    return os.path.join(_points_dir(run_dir), f"point-{index:04d}.json")
+
+
+def _ckpt_dir(run_dir: str, index: int) -> str:
+    return os.path.join(run_dir, "ckpt", f"point-{index:04d}")
+
+
+def _write_json(path: str, obj) -> None:
+    """Atomic JSON write (tmp + rename), same discipline as snapshots."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _read_json(path: str):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# worker (runs in the subprocess; must be module-level for spawn)
+# ---------------------------------------------------------------------------
+def _run_to_row(run) -> Dict:
+    return {
+        "scheme": run.scheme, "pattern": run.pattern,
+        "offered": run.offered, "accepted": run.accepted,
+        "avg_latency": run.avg_latency, "p99_latency": run.p99_latency,
+        "cs_fraction": run.cs_fraction,
+        "energy_total": run.energy.total,
+        "energy_per_message_pj": run.energy_per_message_pj,
+        "messages_delivered": run.messages_delivered,
+        "cycles": run.cycles, "slot_wheel": run.slot_wheel,
+        "note": run.note,
+    }
+
+
+def _worker_main(point: Dict, out_path: str,
+                 ckpt_dir: Optional[str],
+                 checkpoint_cycles: int) -> None:
+    """Execute one sweep point and write its result file.
+
+    The ``_test_fail`` key is a test hook: ``"crash"`` raises,
+    ``"hang"`` sleeps past any timeout, ``"livelock"`` raises a
+    LivelockError exactly as a watchdog would.
+    """
+    from repro.harness.runner import run_synthetic
+    from repro.sim.kernel import LivelockError
+
+    fail_mode = point.get("_test_fail")
+    if fail_mode == "crash":
+        raise RuntimeError("injected crash (test hook)")
+    if fail_mode == "hang":
+        time.sleep(3600)
+
+    status = STATUS_OK
+    try:
+        if fail_mode == "livelock":
+            raise LivelockError(0, 1, 1, {"injected": True})
+        run = run_synthetic(
+            point["scheme"], point["pattern"], point["rate"],
+            warmup=point.get("warmup", 1500),
+            measure=point.get("measure", 4000),
+            seed=point.get("seed", 1),
+            width=point.get("width", 6), height=point.get("height", 6),
+            slot_table_size=point.get("slot_table_size", 128),
+            checkpoint_dir=ckpt_dir, checkpoint_cycles=checkpoint_cycles)
+        row = _run_to_row(run)
+        if run.failed:
+            status = STATUS_LIVELOCK
+    except LivelockError as exc:
+        status = STATUS_LIVELOCK
+        row = {"scheme": point["scheme"], "pattern": point["pattern"],
+               "offered": point["rate"], "note": f"livelock@{exc.cycle}"}
+    _write_json(out_path, {"status": status, "point": point, "row": row})
+
+
+# ---------------------------------------------------------------------------
+# supervisor
+# ---------------------------------------------------------------------------
+def _backoff_delay(sup: SupervisorConfig, attempt: int) -> float:
+    return min(sup.backoff_cap_s,
+               sup.backoff_s * (sup.backoff_factor ** attempt))
+
+
+def _classify(timed_out: bool, result) -> str:
+    """Outcome of one subprocess attempt."""
+    if result is not None and result.get("status") == STATUS_OK:
+        return "ok"
+    if result is not None and result.get("status") == STATUS_LIVELOCK:
+        return "livelock"
+    return "timeout" if timed_out else "crash"
+
+
+def run_supervised_sweep(points: Sequence[Dict], run_dir: str,
+                         sup: Optional[SupervisorConfig] = None,
+                         ckpt: Optional[CheckpointConfig] = None,
+                         progress=None) -> Dict:
+    """Run every point under supervision; returns the sweep summary.
+
+    Already-completed points (valid result file present in *run_dir*)
+    are skipped, so calling this again on the same directory resumes a
+    killed sweep.  The failure manifest (``manifest.json``) is rewritten
+    atomically after every point, so it is always consistent on disk.
+    """
+    sup = sup or SupervisorConfig(enabled=True)
+    ckpt = ckpt or CheckpointConfig()
+    os.makedirs(run_dir, exist_ok=True)
+    _write_json(os.path.join(run_dir, "sweep.json"), {
+        "points": list(points),
+        "supervisor": dataclasses.asdict(sup),
+        "checkpoint": dataclasses.asdict(ckpt),
+    })
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context("spawn")
+
+    failures: List[Dict] = []
+    completed = 0
+    skipped = 0
+    for index, point in enumerate(points):
+        out_path = _result_path(run_dir, index)
+        if _read_json(out_path) is not None:
+            skipped += 1
+            completed += 1
+            continue
+        ckpt_dir = _ckpt_dir(run_dir, index) if ckpt.enabled else None
+        checkpoint_cycles = ckpt.interval_cycles if ckpt.enabled else 0
+
+        outcome = None
+        attempts = 0
+        while True:
+            attempts += 1
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(dict(point), out_path, ckpt_dir, checkpoint_cycles))
+            proc.start()
+            proc.join(sup.timeout_s)
+            timed_out = proc.is_alive()
+            if timed_out:
+                proc.terminate()
+                proc.join(5.0)
+                if proc.is_alive():  # pragma: no cover - stuck in syscall
+                    proc.kill()
+                    proc.join()
+            result = _read_json(out_path)
+            outcome = _classify(timed_out, result)
+            if outcome in ("ok", "livelock"):
+                break
+            # transient failure: retry with capped backoff
+            if attempts > sup.max_retries:
+                break
+            time.sleep(_backoff_delay(sup, attempts - 1))
+        if progress is not None:
+            progress(index, point, outcome, attempts)
+
+        if outcome == "ok":
+            completed += 1
+        else:
+            failures.append({
+                "index": index, "point": dict(point),
+                "outcome": outcome, "attempts": attempts,
+            })
+            if outcome == "livelock":
+                completed += 1   # partial result on disk; sweep continues
+        _write_json(os.path.join(run_dir, "manifest.json"), {
+            "total_points": len(points),
+            "completed": completed,
+            "failures": failures,
+        })
+
+    # final manifest even when every point was skipped
+    _write_json(os.path.join(run_dir, "manifest.json"), {
+        "total_points": len(points),
+        "completed": completed,
+        "failures": failures,
+    })
+    return {"total": len(points), "completed": completed,
+            "skipped": skipped, "failures": failures,
+            "results": load_results(run_dir)}
+
+
+def resume_sweep(run_dir: str) -> Dict:
+    """Pick up a killed supervised sweep where it left off."""
+    spec = _read_json(os.path.join(run_dir, "sweep.json"))
+    if spec is None:
+        raise FileNotFoundError(
+            f"{run_dir}: no sweep.json — not a supervised-sweep directory")
+    sup = SupervisorConfig(**spec["supervisor"])
+    ckpt = CheckpointConfig(**spec["checkpoint"])
+    return run_supervised_sweep(spec["points"], run_dir, sup, ckpt)
+
+
+def load_results(run_dir: str) -> List[Dict]:
+    """All point results present in *run_dir*, in point order."""
+    out: List[Dict] = []
+    pdir = _points_dir(run_dir)
+    if not os.path.isdir(pdir):
+        return out
+    for name in sorted(os.listdir(pdir)):
+        if name.startswith("point-") and name.endswith(".json"):
+            data = _read_json(os.path.join(pdir, name))
+            if data is not None:
+                out.append(data)
+    return out

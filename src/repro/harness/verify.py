@@ -1,0 +1,123 @@
+"""Deterministic-replay verification.
+
+The kernel promises that "runs are exactly reproducible"; this module
+checks the promise end to end through the snapshot machinery:
+
+1. run A for ``pre_cycles``; capture a snapshot and its state hash h0;
+2. continue A for ``post_cycles``; capture the final hash h1 and a
+   stats fingerprint;
+3. build a fresh run B through the same construction path, restore the
+   snapshot, and require B's re-captured hash to equal h0 (restore is
+   faithful / idempotent);
+4. run B for ``post_cycles`` and require the final hash and stats
+   fingerprint to match A's.
+
+Any divergence means hidden state escaped the snapshot protocol (or a
+component drew randomness outside ``Simulator.rng``) and fails loudly —
+``repro verify-replay`` runs this in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.harness.runner import prepare_synthetic
+from repro.sim.checkpoint import capture_state, restore_state, state_hash
+from repro.sim.kernel import LivelockError
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one verify-replay experiment."""
+
+    scheme: str
+    pattern: str
+    rate: float
+    pre_cycles: int
+    post_cycles: int
+    ok: bool
+    restore_hash_ok: bool       #: restore reproduced the snapshot state
+    final_hash_ok: bool         #: replayed run reached identical state
+    stats_ok: bool              #: replayed stats fingerprint identical
+    hash_at_snapshot: str
+    hash_original: str          #: end-state hash of the uninterrupted run
+    hash_replayed: str          #: end-state hash after restore + re-run
+    mismatches: List[str] = field(default_factory=list)
+
+
+def _stats_fingerprint(sim, net) -> Dict:
+    """Cheap human-diffable summary used alongside the full state hash."""
+    return {
+        "cycle": sim.cycle,
+        "messages_delivered": net.messages_delivered,
+        "packets_ejected": net.packets_ejected,
+        "flits_ejected": net.flits_ejected,
+        "pkt_latency_count": net.pkt_latency.count,
+        "pkt_latency_sum": float(sum(net.pkt_latency.samples)),
+        "ledger": net.ledger.as_dict(),
+    }
+
+
+def verify_replay(scheme: str, pattern: str = "transpose",
+                  rate: float = 0.15, pre_cycles: int = 600,
+                  post_cycles: int = 600, seed: int = 1,
+                  width: int = 4, height: int = 4,
+                  slot_table_size: int = 64) -> ReplayReport:
+    """Snapshot mid-run, restore into a fresh build, re-run, compare."""
+    build = dict(seed=seed, width=width, height=height,
+                 slot_table_size=slot_table_size)
+
+    # --- run A: uninterrupted reference --------------------------------
+    sim_a, net_a, _ = prepare_synthetic(scheme, pattern, rate, **build)
+    try:
+        sim_a.run(pre_cycles)
+        snap = capture_state(sim_a, net_a)
+        h0 = state_hash(snap)
+        sim_a.run(post_cycles)
+    except LivelockError as exc:
+        raise RuntimeError(
+            f"verify-replay reference run livelocked at {exc.cycle}; "
+            f"choose a lower rate") from exc
+    h1 = state_hash(capture_state(sim_a, net_a))
+    fp_a = _stats_fingerprint(sim_a, net_a)
+
+    # --- run B: fresh build, restore, replay ---------------------------
+    sim_b, net_b, _ = prepare_synthetic(scheme, pattern, rate, **build)
+    restore_state(sim_b, net_b, snap)
+    h0_restored = state_hash(capture_state(sim_b, net_b))
+    restore_hash_ok = h0_restored == h0
+    try:
+        sim_b.run(post_cycles)
+    except LivelockError as exc:
+        raise RuntimeError(
+            f"verify-replay replayed run livelocked at {exc.cycle} "
+            f"while the reference did not — determinism broken") from exc
+    h2 = state_hash(capture_state(sim_b, net_b))
+    fp_b = _stats_fingerprint(sim_b, net_b)
+
+    final_hash_ok = h2 == h1
+    mismatches: List[str] = []
+    if not restore_hash_ok:
+        mismatches.append(
+            f"restore hash {h0_restored[:16]} != snapshot hash {h0[:16]}")
+    if not final_hash_ok:
+        mismatches.append(
+            f"final hash {h2[:16]} != reference {h1[:16]}")
+    for key in fp_a:
+        if fp_a[key] != fp_b[key]:
+            mismatches.append(f"stats {key}: {fp_a[key]!r} != {fp_b[key]!r}")
+    stats_ok = all(fp_a[key] == fp_b[key] for key in fp_a)
+
+    return ReplayReport(
+        scheme=scheme, pattern=pattern, rate=rate,
+        pre_cycles=pre_cycles, post_cycles=post_cycles,
+        ok=restore_hash_ok and final_hash_ok and stats_ok,
+        restore_hash_ok=restore_hash_ok,
+        final_hash_ok=final_hash_ok,
+        stats_ok=stats_ok,
+        hash_at_snapshot=h0,
+        hash_original=h1,
+        hash_replayed=h2,
+        mismatches=mismatches,
+    )

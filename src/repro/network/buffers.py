@@ -58,6 +58,16 @@ class VirtualChannel:
         self.route_outport = None
         self.out_vc = None
 
+    def state_dict(self) -> dict:
+        return {"fifo": list(self.fifo), "route_outport": self.route_outport,
+                "out_vc": self.out_vc, "powered": self.powered}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.fifo = deque(state["fifo"])
+        self.route_outport = state["route_outport"]
+        self.out_vc = state["out_vc"]
+        self.powered = state["powered"]
+
 
 class InputPort:
     """All virtual channels of one router input port.
@@ -87,3 +97,10 @@ class InputPort:
 
     def occupancy(self) -> int:
         return sum(vc.occupancy for vc in self.vcs)
+
+    def state_dict(self) -> dict:
+        return {"vcs": [vc.state_dict() for vc in self.vcs]}
+
+    def load_state_dict(self, state: dict) -> None:
+        for vc, sub in zip(self.vcs, state["vcs"], strict=True):
+            vc.load_state_dict(sub)

@@ -12,7 +12,6 @@ packets when vicinity sharing needs a header flit for the hop-off leg.
 
 from __future__ import annotations
 
-import itertools
 from enum import IntEnum
 from typing import Optional
 
@@ -81,8 +80,27 @@ class ConfigPayload:
                 f" conn={self.conn_id})")
 
 
-_msg_ids = itertools.count()
-_pkt_ids = itertools.count()
+class IdSource:
+    """Monotonic id generator with inspectable/restorable state.
+
+    Unlike ``itertools.count`` the current value can be read and set,
+    which the checkpoint layer needs so ids issued after a restore do
+    not collide with ids already present in the snapshot.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def __call__(self) -> int:
+        v = self.value
+        self.value = v + 1
+        return v
+
+
+_msg_ids = IdSource()
+_pkt_ids = IdSource()
 
 
 class Message:
@@ -99,7 +117,7 @@ class Message:
     def __init__(self, src: int, dst: int, mclass: MessageClass,
                  size_flits: int, create_cycle: int,
                  payload=None, final_dst: Optional[int] = None) -> None:
-        self.id = next(_msg_ids)
+        self.id = _msg_ids()
         self.src = src
         self.dst = dst
         self.final_dst = dst if final_dst is None else final_dst
@@ -129,7 +147,7 @@ class Packet:
 
     def __init__(self, msg: Message, src: int, dst: int, size: int,
                  circuit: bool = False) -> None:
-        self.id = next(_pkt_ids)
+        self.id = _pkt_ids()
         self.msg = msg
         self.src = src
         self.dst = dst

@@ -46,6 +46,13 @@ class Endpoint:
     def on_message(self, msg: Message, cycle: int) -> None:  # pragma: no cover
         pass
 
+    def state_dict(self) -> dict:
+        """Mutable endpoint state (stateless base: empty)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
 
 class NetworkInterface(SimObject):
     """Packet-switched network interface for one node."""
@@ -263,6 +270,45 @@ class NetworkInterface(SimObject):
             if self.vc_in_use[vc] is None:
                 return vc
         return None
+
+    # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable NI state; endpoint state nests here so the network
+        can restore sources without knowing their type.  Wiring (links,
+        router ref, callbacks, shared ledger) is excluded."""
+        return {
+            "local_credits": list(self.local_credits),
+            "vc_in_use": [None if s is None else list(s)
+                          for s in self.vc_in_use],
+            "ps_queue": [(pkt, None if pre is None else list(pre))
+                         for pkt, pre in self.ps_queue],
+            "counters": self.counters,
+            "sent_messages": self.sent_messages,
+            "received_messages": self.received_messages,
+            "ps_latency_ewma": self.ps_latency_ewma,
+            "cs_latency_ewma": self.cs_latency_ewma,
+            "config_drops": self.config_drops,
+            "endpoint": None if self.endpoint is None
+            else self.endpoint.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.local_credits = list(state["local_credits"])
+        self.vc_in_use = [None if s is None else deque(s)
+                          for s in state["vc_in_use"]]
+        self.ps_queue = deque(
+            (pkt, None if pre is None else deque(pre))
+            for pkt, pre in state["ps_queue"])
+        self.counters = state["counters"]
+        self.sent_messages = state["sent_messages"]
+        self.received_messages = state["received_messages"]
+        self.ps_latency_ewma = state["ps_latency_ewma"]
+        self.cs_latency_ewma = state["cs_latency_ewma"]
+        self.config_drops = state["config_drops"]
+        if self.endpoint is not None and state["endpoint"] is not None:
+            self.endpoint.load_state_dict(state["endpoint"])
 
     # ------------------------------------------------------------------
     def note_ps_latency(self, latency: float) -> None:

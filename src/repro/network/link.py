@@ -68,6 +68,17 @@ class FlitLink:
     def in_flight(self) -> int:
         return len(self._pipe)
 
+    def state_dict(self) -> dict:
+        # drop_sink is wiring (re-attached by the fault subsystem)
+        return {"pipe": list(self._pipe), "flits_carried": self.flits_carried,
+                "faulty": self.faulty, "flits_dropped": self.flits_dropped}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._pipe = deque(state["pipe"])
+        self.flits_carried = state["flits_carried"]
+        self.faulty = state["faulty"]
+        self.flits_dropped = state["flits_dropped"]
+
 
 class CreditLink:
     """Upstream credit return path (1-cycle latency).
@@ -98,3 +109,9 @@ class CreditLink:
     @property
     def in_flight(self) -> int:
         return len(self._pipe)
+
+    def state_dict(self) -> dict:
+        return {"pipe": list(self._pipe)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._pipe = deque(state["pipe"])

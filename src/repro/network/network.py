@@ -119,6 +119,54 @@ class Network:
         return self.sim.cycle - self._measure_start_cycle
 
     # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full network state: stats, the shared ledger, and every
+        router/NI/link sub-state (subclasses extend this)."""
+        return {
+            "measuring": self.measuring,
+            "measure_start_cycle": self._measure_start_cycle,
+            "flits_ejected": self.flits_ejected,
+            "packets_ejected": self.packets_ejected,
+            "messages_delivered": self.messages_delivered,
+            "pkt_latency": self.pkt_latency,
+            "msg_latency": self.msg_latency,
+            "cs_pkt_latency": self.cs_pkt_latency,
+            "ps_pkt_latency": self.ps_pkt_latency,
+            "ledger": self.ledger,
+            "routers": [r.state_dict() for r in self.routers],
+            "interfaces": [ni.state_dict() for ni in self.interfaces],
+            "links": [link.state_dict() for link in self.links],
+            "faults": None if self.fault_harness is None
+            else self.fault_harness.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.measuring = state["measuring"]
+        self._measure_start_cycle = state["measure_start_cycle"]
+        self.flits_ejected = state["flits_ejected"]
+        self.packets_ejected = state["packets_ejected"]
+        self.messages_delivered = state["messages_delivered"]
+        self.pkt_latency = state["pkt_latency"]
+        self.msg_latency = state["msg_latency"]
+        self.cs_pkt_latency = state["cs_pkt_latency"]
+        self.ps_pkt_latency = state["ps_pkt_latency"]
+        self.ledger = state["ledger"]
+        for r, sub in zip(self.routers, state["routers"], strict=True):
+            r.load_state_dict(sub)
+            r.ledger = self.ledger
+        for ni, sub in zip(self.interfaces, state["interfaces"], strict=True):
+            ni.load_state_dict(sub)
+            ni.ledger = self.ledger
+        # links before faults: the fault harness re-syncs link-health
+        # flags from its own snapshot of the down set
+        for link, sub in zip(self.links, state["links"], strict=True):
+            link.load_state_dict(sub)
+        if self.fault_harness is not None and state["faults"] is not None:
+            self.fault_harness.load_state_dict(state["faults"])
+
+    # ------------------------------------------------------------------
     # aggregates
     # ------------------------------------------------------------------
     def aggregate_counters(self) -> Counter:

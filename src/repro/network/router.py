@@ -444,6 +444,55 @@ class PacketRouter(SimObject):
         self.vc_power_integral.set(n, cycle)
 
     # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable router state; wiring (links, downstream refs, shared
+        ledger/rng/link-health) is rebuilt by the network constructor."""
+        return {
+            "in_ports": [p.state_dict() for p in self.in_ports],
+            "arrivals": [list(a) for a in self._arrivals],
+            "credits": [list(row) for row in self.credits],
+            "out_vc_owner": [list(row) for row in self.out_vc_owner],
+            "active_vcs": self.active_vcs,
+            "powered_vcs": self.powered_vcs,
+            "vc_power_integral": self.vc_power_integral,
+            "sa_ptr": list(self._sa_ptr),
+            "counters": self.counters,
+            "busy": (self._busy_accum, self._busy_samples,
+                     self._qdelay_accum, self._qdelay_samples),
+            "buffered_flits": self._buffered_flits,
+            "stalled_until": self.stalled_until,
+            "gating": None if self.gating is None else self.gating.state_dict(),
+            # every CreditLink is some router's credit_out (the side that
+            # sends credits), so in-flight credits are captured exactly once
+            "credit_pipes": [None if cl is None else cl.state_dict()
+                             for cl in self.credit_out],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for port, sub in zip(self.in_ports, state["in_ports"], strict=True):
+            port.load_state_dict(sub)
+        self._arrivals = [list(a) for a in state["arrivals"]]
+        self.credits = [list(row) for row in state["credits"]]
+        self.out_vc_owner = [list(row) for row in state["out_vc_owner"]]
+        self.active_vcs = state["active_vcs"]
+        self.powered_vcs = state["powered_vcs"]
+        self.vc_power_integral = state["vc_power_integral"]
+        self._sa_ptr = list(state["sa_ptr"])
+        self.counters = state["counters"]
+        (self._busy_accum, self._busy_samples,
+         self._qdelay_accum, self._qdelay_samples) = state["busy"]
+        self._buffered_flits = state["buffered_flits"]
+        self.stalled_until = state["stalled_until"]
+        if self.gating is not None and state["gating"] is not None:
+            self.gating.load_state_dict(state["gating"])
+        for cl, sub in zip(self.credit_out, state["credit_pipes"],
+                           strict=True):
+            if cl is not None and sub is not None:
+                cl.load_state_dict(sub)
+
+    # ------------------------------------------------------------------
     def occupancy(self) -> int:
         """Total buffered flits (used by drain checks and tests).
 

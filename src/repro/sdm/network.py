@@ -38,6 +38,21 @@ class SDMNetwork(Network):
         return sum(1 for m in self.managers for c in m.connections.values()
                    if c.state is ConnState.ACTIVE)
 
+    # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["managers"] = [m.state_dict() for m in self.managers]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        for m, sub in zip(self.managers, state["managers"], strict=True):
+            m.load_state_dict(sub)
+        for router, ni in zip(self.routers, self.interfaces, strict=True):
+            router.rebind_cs_injections(ni)
+
 
 def build_sdm_network(cfg: NetworkConfig, sim: Simulator,
                       decision_fn=None, eligible_fn=None) -> SDMNetwork:

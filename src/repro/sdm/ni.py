@@ -68,16 +68,21 @@ class SDMNetworkInterface(NetworkInterface):
         pkt.inject_cycle = plan.t0
         flits = pkt.make_flits()
         token = {"cancelled": False, "pkt": pkt, "pending": deque(flits)}
+        on_ok, on_fail = self.make_cs_callbacks(token)
         for i, flit in enumerate(flits):
             flit.is_circuit = True
             self.router.schedule_cs_injection(
-                plan.t0 + i, flit,
-                on_ok=lambda f, t=token: self._cs_flit_ok(f, t),
-                on_fail=lambda f, t=token: self._cs_flit_failed(f, t),
+                plan.t0 + i, flit, on_ok=on_ok, on_fail=on_fail,
                 token=token)
         self._cs_outstanding += plan.size
         self.sent_messages += 1
         self.counters.inc("cs_send_own")
+
+    def make_cs_callbacks(self, token: dict):
+        """(on_ok, on_fail) pair bound to *token* (also used when a
+        snapshot restore rebuilds the router's injection schedule)."""
+        return (lambda f, t=token: self._cs_flit_ok(f, t),
+                lambda f, t=token: self._cs_flit_failed(f, t))
 
     def _cs_flit_ok(self, flit: Flit, token: dict) -> None:
         self._cs_outstanding -= 1
@@ -157,6 +162,20 @@ class SDMNetworkInterface(NetworkInterface):
             if best_load is None or load < best_load:
                 best_vc, best_load = free, load
         return best_vc
+
+    # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update({"cs_outstanding": self._cs_outstanding,
+                      "now": self._now})
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._cs_outstanding = state["cs_outstanding"]
+        self._now = state["now"]
 
     @property
     def pending_flits(self) -> int:

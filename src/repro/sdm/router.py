@@ -155,6 +155,44 @@ class SDMRouter(PacketRouter):
             on_ok(flit)
 
     # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Packet-router state plus plane reservations and the pending
+        circuit-injection schedule (callbacks excluded, rebuilt via
+        :meth:`rebind_cs_injections` — see the TDM router)."""
+        state = super().state_dict()
+        state.update({
+            "cs_route": [list(row) for row in self.cs_route],
+            "plane_owner": [list(row) for row in self.plane_owner],
+            "cs_in_used": [list(row) for row in self._cs_in_used],
+            "cs_out_used": [list(row) for row in self._cs_out_used],
+            "cs_inject": {
+                cycle: [(flit, token) for flit, _ok, _fail, token in lst]
+                for cycle, lst in self._cs_inject.items()},
+        })
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.cs_route = [list(row) for row in state["cs_route"]]
+        self.plane_owner = [list(row) for row in state["plane_owner"]]
+        self._cs_in_used = [list(row) for row in state["cs_in_used"]]
+        self._cs_out_used = [list(row) for row in state["cs_out_used"]]
+        self._cs_inject_raw = state["cs_inject"]
+        self._cs_inject = {}
+
+    def rebind_cs_injections(self, ni) -> None:
+        raw = getattr(self, "_cs_inject_raw", None)
+        if raw is None:
+            return
+        del self._cs_inject_raw
+        self._cs_inject = {
+            cycle: [(flit, *ni.make_cs_callbacks(token), token)
+                    for flit, token in entries]
+            for cycle, entries in raw.items()}
+
+    # ------------------------------------------------------------------
     # plane-aware VC allocation
     # ------------------------------------------------------------------
     def _allocate_out_vc(self, outport: int, is_config: bool,

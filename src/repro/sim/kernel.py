@@ -21,7 +21,7 @@ All randomness must come from :attr:`Simulator.rng` (a seeded NumPy
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,7 +52,25 @@ class SimObject:
     :meth:`inject` and :meth:`control`.  The default implementations are
     no-ops, so components only pay for the phases they use (the kernel
     skips methods that are not overridden).
+
+    Snapshot protocol
+    -----------------
+    :meth:`state_dict` returns every *mutable* simulation attribute of
+    the object; :meth:`load_state_dict` restores them onto an
+    identically-constructed instance.  Wiring (links, callbacks, shared
+    component references) is never part of the state: a restore target
+    is rebuilt through the normal construction path first, then loaded.
+    The default implementation is driven by the :attr:`_state_attrs`
+    class attribute; components with nested or shared state override the
+    method pair instead.  Returned values may be live references — the
+    checkpoint layer (:mod:`repro.sim.checkpoint`) freezes the whole
+    tree in a single pickling pass, which also preserves object sharing
+    between components (e.g. a flit sitting in a link pipe while its
+    packet is tracked by the source NI).
     """
+
+    #: names of mutable attributes captured by the default state_dict
+    _state_attrs: Tuple[str, ...] = ()
 
     def deliver(self, cycle: int) -> None:  # pragma: no cover - trivial
         pass
@@ -66,6 +84,13 @@ class SimObject:
     def control(self, cycle: int) -> None:  # pragma: no cover - trivial
         pass
 
+    def state_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in self._state_attrs}
+
+    def load_state_dict(self, state: Dict) -> None:
+        for name in self._state_attrs:
+            setattr(self, name, state[name])
+
 
 class Watchdog(SimObject):
     """Periodic liveness + conservation auditor (``control`` phase).
@@ -78,6 +103,9 @@ class Watchdog(SimObject):
     :class:`LivelockError` after ``patience`` consecutive checks without
     progress while work is in flight.
     """
+
+    _state_attrs = ("_last_progress", "_stalled_checks", "checks",
+                    "audit_violations", "last_violation")
 
     def __init__(self, interval: int, patience: int,
                  progress_fn: Callable[[], int],
@@ -162,6 +190,24 @@ class Simulator:
     @property
     def objects(self) -> tuple:
         return tuple(self._objects)
+
+    # ------------------------------------------------------------------
+    # snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Kernel state: the cycle counter and the full bit-generator
+        state of the global RNG (plain ints/dicts, picklable)."""
+        return {"cycle": self.cycle,
+                "rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore kernel state in place.
+
+        The RNG state is written onto the *existing* generator so every
+        component holding a reference to ``sim.rng`` keeps a valid one.
+        """
+        self.cycle = int(state["cycle"])
+        self.rng.bit_generator.state = state["rng"]
 
     # ------------------------------------------------------------------
     # execution

@@ -105,7 +105,14 @@ class LatencySample:
         return sum(self.samples) / len(self.samples) if self.samples else float("nan")
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, p in [0, 100]."""
+        """Nearest-rank percentile, p in [0, 100].
+
+        Zero-sample runs (e.g. a point that livelocks before any flit is
+        measured) yield NaN rather than raising, so sweep reports can
+        still be rendered.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile p must be in [0, 100], got {p!r}")
         if not self.samples:
             return float("nan")
         xs = sorted(self.samples)

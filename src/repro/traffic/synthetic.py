@@ -58,6 +58,22 @@ class SyntheticSource(Endpoint):
     def on_message(self, msg: Message, cycle: int) -> None:
         self.messages_received += 1
 
+    def state_dict(self) -> dict:
+        # msg_prob is mutable at runtime (fault experiments drain traffic
+        # by zeroing it), so it is state, not derived configuration
+        return {"injection_rate": self.injection_rate,
+                "msg_prob": self.msg_prob,
+                "stop_cycle": self.stop_cycle,
+                "messages_generated": self.messages_generated,
+                "messages_received": self.messages_received}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.injection_rate = state["injection_rate"]
+        self.msg_prob = state["msg_prob"]
+        self.stop_cycle = state["stop_cycle"]
+        self.messages_generated = state["messages_generated"]
+        self.messages_received = state["messages_received"]
+
 
 def attach_synthetic_sources(net: Network, pattern: TrafficPattern,
                              injection_rate: float,

@@ -68,6 +68,36 @@ class TestRunner:
         assert list(DEFAULT_RATES) == sorted(DEFAULT_RATES)
 
 
+class TestLivelockSurvival:
+    """A livelocked point degrades to a failed SynthRun, never an abort."""
+
+    @pytest.fixture
+    def livelock_everything(self, monkeypatch):
+        from repro.sim.kernel import LivelockError, Simulator
+
+        def boom(self, cycles):
+            raise LivelockError(self.cycle, 3, 100, {"injected": True})
+
+        monkeypatch.setattr(Simulator, "run", boom)
+
+    def test_run_synthetic_survives_livelock(self, livelock_everything):
+        r = run_synthetic("packet_vc4", "tornado", 0.2, seed=2)
+        assert r.failed
+        assert r.note.startswith("livelock@")
+        assert r.messages_delivered == 0
+
+    def test_sweep_keeps_going_past_livelock(self, livelock_everything):
+        runs = load_latency_sweep("packet_vc4", "neighbor",
+                                  rates=(0.05, 0.2), seed=2)
+        assert len(runs) == 2
+        assert all(r.failed for r in runs)
+
+    def test_saturation_survives_livelock(self, livelock_everything):
+        sat = saturation_throughput("packet_vc4", "neighbor",
+                                    probe_rates=(0.5,), seed=2)
+        assert sat == 0.0
+
+
 class TestReport:
     def test_format_table_alignment(self):
         text = format_table(("a", "beta"), [(1, 2.5), (10, 0.001)],

@@ -1,0 +1,122 @@
+"""Supervised sweep runner: isolation, retry, manifest, resume."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import SupervisorConfig
+from repro.harness.runner import run_synthetic
+from repro.harness.supervisor import (
+    build_sweep_points,
+    load_results,
+    resume_sweep,
+    run_supervised_sweep,
+)
+
+
+def _points(n_extra=0, **overrides):
+    pts = build_sweep_points(["packet_vc4"], "uniform_random",
+                            [0.1, 0.2][:1 + n_extra], width=3, height=3,
+                            slot_table_size=32, warmup=200, measure=200)
+    for p in pts:
+        p.update(overrides)
+    return pts
+
+
+def _sup(**kw):
+    kw.setdefault("timeout_s", 60.0)
+    kw.setdefault("max_retries", 1)
+    kw.setdefault("backoff_s", 0.01)
+    kw.setdefault("backoff_cap_s", 0.05)
+    return SupervisorConfig(enabled=True, **kw)
+
+
+class TestSupervisedSweep:
+    def test_clean_sweep_completes(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        summary = run_supervised_sweep(_points(n_extra=1), run_dir, _sup())
+        assert summary["completed"] == 2
+        assert summary["failures"] == []
+        results = load_results(run_dir)
+        assert len(results) == 2
+        assert all(r["status"] == "ok" for r in results)
+        assert all(r["row"]["messages_delivered"] > 0 for r in results)
+
+    def test_injected_livelock_point_does_not_stop_sweep(self, tmp_path):
+        pts = _points(n_extra=1)
+        pts[0]["_test_fail"] = "livelock"
+        run_dir = str(tmp_path / "run")
+        summary = run_supervised_sweep(pts, run_dir, _sup())
+        # the livelocked point is recorded, the other point still ran
+        assert len(summary["failures"]) == 1
+        failure = summary["failures"][0]
+        assert failure["outcome"] == "livelock"
+        assert failure["attempts"] == 1, "livelock must not be retried"
+        results = load_results(run_dir)
+        assert len(results) == 2
+        assert results[0]["status"] == "livelock"
+        assert "livelock@" in results[0]["row"]["note"]
+        assert results[1]["status"] == "ok"
+
+        manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+        assert manifest["total_points"] == 2
+        assert manifest["failures"][0]["outcome"] == "livelock"
+
+    def test_crash_is_retried_then_recorded(self, tmp_path):
+        pts = _points()
+        pts[0]["_test_fail"] = "crash"
+        run_dir = str(tmp_path / "run")
+        summary = run_supervised_sweep(pts, run_dir, _sup(max_retries=2))
+        assert summary["completed"] == 0
+        failure = summary["failures"][0]
+        assert failure["outcome"] == "crash"
+        assert failure["attempts"] == 3  # initial try + 2 retries
+
+    def test_hang_times_out(self, tmp_path):
+        pts = _points()
+        pts[0]["_test_fail"] = "hang"
+        run_dir = str(tmp_path / "run")
+        summary = run_supervised_sweep(
+            pts, run_dir, _sup(timeout_s=1.0, max_retries=0))
+        failure = summary["failures"][0]
+        assert failure["outcome"] == "timeout"
+        assert failure["attempts"] == 1
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        first = run_supervised_sweep(_points(n_extra=1), run_dir, _sup())
+        assert first["skipped"] == 0
+        resumed = resume_sweep(run_dir)
+        assert resumed["skipped"] == 2
+        assert resumed["completed"] == 2
+        assert resumed["failures"] == []
+
+    def test_resume_requires_sweep_json(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resume_sweep(str(tmp_path / "nonexistent"))
+
+
+class TestRunnerCheckpointResume:
+    def test_checkpointed_rerun_matches_uninterrupted(self, tmp_path):
+        kw = dict(warmup=200, measure=300, seed=3, width=3, height=3,
+                  slot_table_size=32)
+        ref = run_synthetic("hybrid_tdm_vc4", "transpose", 0.2, **kw)
+
+        ckpt = str(tmp_path / "ckpt")
+        first = run_synthetic("hybrid_tdm_vc4", "transpose", 0.2,
+                              checkpoint_dir=ckpt, checkpoint_cycles=100,
+                              **kw)
+        assert os.listdir(ckpt), "no snapshots written"
+        # second invocation resumes from the last snapshot (as after a
+        # crash) and must land on the same results as the clean runs
+        second = run_synthetic("hybrid_tdm_vc4", "transpose", 0.2,
+                               checkpoint_dir=ckpt, checkpoint_cycles=100,
+                               **kw)
+        for run in (first, second):
+            assert run.messages_delivered == ref.messages_delivered
+            assert run.avg_latency == ref.avg_latency
+            assert run.accepted == ref.accepted
+            assert run.energy.total == ref.energy.total

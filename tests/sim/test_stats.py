@@ -79,6 +79,19 @@ class TestLatencySample:
         ls = LatencySample()
         assert math.isnan(ls.mean)
         assert math.isnan(ls.percentile(50))
+        assert math.isnan(ls.percentile(0))
+        assert math.isnan(ls.percentile(100))
+
+    def test_percentile_range_validated(self):
+        ls = LatencySample()
+        ls.extend((1, 2, 3))
+        with pytest.raises(ValueError, match="percentile"):
+            ls.percentile(-1)
+        with pytest.raises(ValueError, match="percentile"):
+            ls.percentile(101)
+        # validation applies even with zero samples
+        with pytest.raises(ValueError, match="percentile"):
+            LatencySample().percentile(200)
 
     @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
     def test_percentile_bounds(self, xs):

@@ -95,3 +95,29 @@ class TestCLI:
     def test_fig_unknown_name_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig", "fig7"])
+
+    def test_verify_replay_command_passes(self, capsys):
+        rc = main(["verify-replay", "--schemes", "packet_vc4",
+                   "--pre", "150", "--post", "150",
+                   "--width", "3", "--height", "3",
+                   "--slot-table-size", "32"])
+        assert rc == 0
+        assert "PASS packet_vc4" in capsys.readouterr().out
+
+    def test_supervised_sweep_requires_run_dir(self, capsys):
+        rc = main(["sweep", "neighbor", "--supervised"])
+        assert rc == 2
+        assert "--run-dir" in capsys.readouterr().err
+
+    def test_supervised_sweep_and_resume(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        run_dir = str(tmp_path / "run")
+        rc = main(["sweep", "neighbor", "--rates", "0.1",
+                   "--schemes", "packet_vc4", "--supervised",
+                   "--run-dir", run_dir])
+        assert rc == 0
+        assert "1/1 points completed" in capsys.readouterr().out
+        rc = main(["resume", run_dir])
+        assert rc == 0
+        assert "(1 already done)" in capsys.readouterr().out

@@ -7,6 +7,8 @@ statistical timing (the figure/table benches above run once and assert
 shapes).
 """
 
+import time
+
 from repro.config import scheme_config
 from repro.network.network import build_network
 from repro.sim.kernel import Simulator
@@ -44,8 +46,28 @@ def test_perf_hybrid_with_sharing_and_gating(benchmark):
 
 
 def test_perf_idle_network_fast_path(benchmark):
-    """An idle network must step much faster than a loaded one."""
+    """An idle network must step much faster than a loaded one: the
+    activity-tracked engine puts every component to sleep, so stepping
+    becomes a near-empty loop.  Timed with pytest-benchmark for the
+    idle side and asserted against a directly-timed loaded network."""
     cfg = scheme_config("hybrid_tdm_vc4")
     sim = Simulator(seed=3)
     build_network(cfg, sim)
+    sim.run(100)   # settle: after this everything is asleep
     benchmark(lambda: sim.run(100))
+    idle_s = benchmark.stats.stats.min
+
+    loaded = _setup("hybrid_tdm_vc4", rate=0.2)
+    loaded_s = min(_timed(loaded, 100) for _ in range(5))
+    # ~12x on an unloaded machine; 2x keeps the assertion robust to
+    # timer noise while still failing if the fast path stops sleeping
+    assert idle_s * 2 < loaded_s, (
+        f"idle stepping ({100 / idle_s:,.0f} c/s) is not meaningfully "
+        f"faster than loaded stepping ({100 / loaded_s:,.0f} c/s); "
+        f"the activity-tracked fast path has regressed")
+
+
+def _timed(sim, cycles: int) -> float:
+    t0 = time.perf_counter()
+    sim.run(cycles)
+    return time.perf_counter() - t0

@@ -15,6 +15,11 @@ Commands
               occupancy heatmap, circuits)
 ``verify-replay``  snapshot mid-run, restore into a fresh build, re-run
               and fail loudly on any state-hash/stats divergence
+``verify-equivalence``  run each scheme under the legacy and the
+              activity-tracked fast engine from the same seed and
+              require identical state hashes at every checkpoint
+``bench``     time the legacy vs fast engine on idle and loaded-epoch
+              scenarios; writes ``BENCH_simperf.json``
 ``resume``    pick up a killed supervised sweep (``sweep --supervised``)
               where it left off
 
@@ -141,6 +146,42 @@ def cmd_verify_replay(args) -> int:
             print(f"    {mismatch}")
         failed = failed or not report.ok
     return 1 if failed else 0
+
+
+def cmd_verify_equivalence(args) -> int:
+    from repro.harness.verify import verify_equivalence
+
+    failed = False
+    for scheme in args.schemes.split(","):
+        report = verify_equivalence(
+            scheme, pattern=args.pattern, rate=args.rate,
+            cycles=args.cycles, interval=args.interval, seed=args.seed,
+            width=args.width, height=args.height,
+            slot_table_size=args.slot_table_size,
+            stop_cycle=args.stop_cycle)
+        verdict = "PASS" if report.ok else "FAIL"
+        print(f"{verdict} {scheme}: {report.checkpoints} checkpoints, "
+              f"final legacy={report.hash_final_legacy[:16]} "
+              f"fast={report.hash_final_fast[:16]}")
+        for mismatch in report.mismatches:
+            print(f"    {mismatch}")
+        failed = failed or not report.ok
+    return 1 if failed else 0
+
+
+def cmd_bench(args) -> int:
+    from repro.harness.bench import run_bench, write_bench_json
+
+    report = run_bench(repeats=args.repeats, seed=args.seed)
+    rows = [(r["scenario"], r["legacy_cps"], r["fast_cps"], r["ratio"],
+             r["target_ratio"], "PASS" if r["ok"] else "FAIL")
+            for r in report["scenarios"]]
+    print(format_table(
+        ("scenario", "legacy_cps", "fast_cps", "ratio", "target", "ok"),
+        rows, title=f"Engine throughput (best of {args.repeats})"))
+    write_bench_json(report, args.json)
+    print(f"\nwrote {args.json}")
+    return 0 if report["ok"] else 1
 
 
 def cmd_energy(args) -> int:
@@ -286,6 +327,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slot-table-size", type=int, default=64)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=cmd_verify_replay)
+
+    p = sub.add_parser("verify-equivalence",
+                       help="verify fast-engine/legacy-engine equivalence")
+    p.add_argument("--schemes",
+                   default="packet_vc4,hybrid_sdm_vc4,hybrid_tdm_vc4,"
+                           "hybrid_tdm_vct,hybrid_tdm_hop_vc4,"
+                           "hybrid_tdm_hop_vct")
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--rate", type=float, default=0.12)
+    p.add_argument("--cycles", type=int, default=300)
+    p.add_argument("--interval", type=int, default=100,
+                   help="cycles between state-hash checkpoints")
+    p.add_argument("--stop-cycle", type=int, default=None,
+                   help="stop traffic sources at this cycle so the "
+                        "drain/sleep path is exercised")
+    p.add_argument("--width", type=int, default=4)
+    p.add_argument("--height", type=int, default=4)
+    p.add_argument("--slot-table-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_verify_equivalence)
+
+    p = sub.add_parser("bench",
+                       help="engine cycles/sec benchmark (legacy vs fast)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="interleaved timing repeats; best run kept")
+    p.add_argument("--json", default="BENCH_simperf.json",
+                   help="output path for the machine-readable report")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("energy", help="energy comparison (Figure 5 style)")
     p.add_argument("pattern", nargs="?", default="tornado")

@@ -30,13 +30,35 @@ class HybridNetworkInterface(NetworkInterface):
     def __init__(self, node: int, cfg: NetworkConfig) -> None:
         super().__init__(node, cfg)
         self.manager: Optional[ConnectionManager] = None
-        self._now = 0               #: cycle of the current inject phase
+        self._last_inject = 0       #: cycle of the last executed inject
         self._cs_outstanding = 0    #: scheduled CS flits not yet resolved
+
+    @property
+    def _now(self) -> int:
+        """The cycle the legacy scheduler's per-cycle ``_now`` update
+        would hold: the current inject phase while one is running, else
+        ``sim.cycle - 1``.  Derived rather than stored so an NI that the
+        activity-tracked engine put to sleep (skipping its inject, and
+        with it the update) still reports the correct time to direct
+        ``send()`` pokes and circuit planning.  Not snapshot state."""
+        last = self._last_inject
+        sim = self.sim
+        if sim is not None and sim.cycle - 1 > last:
+            return sim.cycle - 1
+        return last
 
     # ------------------------------------------------------------------
     def inject(self, cycle: int) -> None:
-        self._now = cycle
+        self._last_inject = cycle
         super().inject(cycle)
+
+    def sim_idle(self, cycle: int) -> bool:
+        """Sleep only with no circuit flits scheduled at the router: the
+        on-ok/on-fail callbacks fire during the *router's* transfer phase
+        and mutate NI state that must stay observable cycle-by-cycle."""
+        if self._cs_outstanding:
+            return False
+        return NetworkInterface.sim_idle(self, cycle)
 
     # ------------------------------------------------------------------
     def send(self, msg: Message) -> None:
@@ -108,15 +130,16 @@ class HybridNetworkInterface(NetworkInterface):
     # snapshot protocol
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
+        # _now is excluded: it is derivable (cycle - 1 at capture time)
+        # and snapshotting it would make the hash depend on how long the
+        # NI has been asleep.  The network restore loop re-primes it.
         state = super().state_dict()
-        state.update({"cs_outstanding": self._cs_outstanding,
-                      "now": self._now})
+        state.update({"cs_outstanding": self._cs_outstanding})
         return state
 
     def load_state_dict(self, state: dict) -> None:
         super().load_state_dict(state)
         self._cs_outstanding = state["cs_outstanding"]
-        self._now = state["now"]
 
     # ------------------------------------------------------------------
     @property

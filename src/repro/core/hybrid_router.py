@@ -77,6 +77,22 @@ class HybridRouter(PacketRouter):
         if self.gating is not None:
             self._sample_utilisation()
 
+    def sim_idle(self, cycle: int) -> bool:
+        """Packet-side idleness plus: no scheduled circuit injection and
+        the crossbar-usage flags have settled back to all-False (they
+        are reset at the *start* of the next transfer, so a router that
+        carried a circuit flit this cycle stays awake one more cycle to
+        run that reset — keeping its snapshot identical to legacy's)."""
+        if self._cs_inject:
+            return False
+        for used in self._cs_in_used:
+            if used:
+                return False
+        for used in self._cs_out_used:
+            if used:
+                return False
+        return PacketRouter.sim_idle(self, cycle)
+
     # ------------------------------------------------------------------
     # circuit-switched datapath
     # ------------------------------------------------------------------
@@ -137,6 +153,7 @@ class HybridRouter(PacketRouter):
         exactly *cycle* (the NI computed the slot-aligned time)."""
         inj = CSInjection(flit, expected_outport, on_ok, on_fail, token)
         self._cs_inject.setdefault(cycle, []).append(inj)
+        self._sim_awake = True
 
     def _process_cs_injections(self, cycle: int) -> None:
         injections = self._cs_inject.pop(cycle, None)
@@ -232,7 +249,11 @@ class HybridRouter(PacketRouter):
     # packet pipeline interaction (time-slot stealing)
     # ------------------------------------------------------------------
     def _cs_used_inports(self, cycle: int) -> List[bool]:
-        return list(self._cs_in_used)
+        scratch = self._used_in_scratch
+        cs = self._cs_in_used
+        for i in range(NUM_PORTS):
+            scratch[i] = cs[i]
+        return scratch
 
     def _out_blocked_for_ps(self, outport: int, cycle: int) -> bool:
         if self._cs_out_used[outport]:

@@ -182,6 +182,10 @@ def attach_faults(net, sim):
     from repro.faults.health import LinkHealthMap
 
     fcfg = net.cfg.faults
+    # fault events mutate links/routers from outside the phase loop, so
+    # activity-tracked sleeping is unsound here: fall back to the legacy
+    # run-everything stepper for fault campaigns
+    sim.disable_sleep()
     health = LinkHealthMap(net)
     for r in net.routers:
         r.link_health = health

@@ -1,0 +1,120 @@
+"""Simulator-throughput benchmark: legacy vs activity-tracked engine.
+
+Measures wall-clock cycles/second for the run-everything ``legacy``
+scheduler and the activity-tracked ``fast`` scheduler (see
+:mod:`repro.sim.kernel`) on two scenario shapes:
+
+``idle``
+    A network with quiescent sources.  This is the fast engine's best
+    case — every component goes to sleep — and models the long idle
+    stretches of real application traces (the paper's Table III
+    workloads inject at 0.5–8% of peak, so most cycles touch almost
+    nothing).
+
+``loaded_epoch``
+    A burst of uniform-random traffic that stops mid-run, followed by a
+    drain and a quiescent tail — the activity profile of one
+    application epoch.  The two engines do the same per-cycle work
+    while traffic flows, so the speedup here comes from the tail and
+    from the hot-path tightening shared by both engines.
+
+Timing noise on shared machines is large, so each (scenario, engine)
+pair is timed ``repeats`` times *interleaved* (legacy, fast, legacy,
+fast, ...) and the best run per engine is kept: interleaving spreads
+machine-load transients evenly across both engines, and max-of-N is
+the standard estimator for "true" speed under one-sided noise.
+
+``repro bench`` runs this and writes ``BENCH_simperf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.harness.runner import prepare_synthetic
+
+
+@dataclass
+class BenchScenario:
+    """One workload shape timed under both engines."""
+
+    name: str
+    scheme: str = "hybrid_tdm_vc4"
+    pattern: str = "uniform_random"
+    rate: float = 0.2
+    stop_cycle: Optional[int] = None    #: sources stop injecting here
+    cycles: int = 2500
+    width: int = 4
+    height: int = 4
+    target_ratio: float = 1.3           #: fast/legacy cycles-per-second
+
+
+#: Default scenario set; targets match the acceptance criteria
+#: (>= 3x idle, >= 1.3x loaded epoch).
+SCENARIOS: List[BenchScenario] = [
+    BenchScenario(name="idle", rate=0.0, cycles=4000,
+                  width=6, height=6, target_ratio=3.0),
+    BenchScenario(name="loaded_epoch", rate=0.2, stop_cycle=500,
+                  cycles=2500, target_ratio=1.3),
+]
+
+
+def _time_run(scn: BenchScenario, engine: str, seed: int) -> float:
+    """Build the scenario fresh and return measured cycles/second."""
+    sim, _net, sources = prepare_synthetic(
+        scn.scheme, scn.pattern, scn.rate, seed=seed,
+        width=scn.width, height=scn.height, engine=engine)
+    if scn.stop_cycle is not None:
+        for src in sources:
+            src.stop_cycle = scn.stop_cycle
+    t0 = time.perf_counter()
+    sim.run(scn.cycles)
+    elapsed = time.perf_counter() - t0
+    return scn.cycles / elapsed if elapsed > 0 else float("inf")
+
+
+def run_bench(repeats: int = 5, seed: int = 1,
+              scenarios: Optional[List[BenchScenario]] = None) -> Dict:
+    """Time every scenario under both engines; return the report dict."""
+    if scenarios is None:
+        scenarios = SCENARIOS
+    rows = []
+    for scn in scenarios:
+        best = {"legacy": 0.0, "fast": 0.0}
+        for _ in range(repeats):
+            for engine in ("legacy", "fast"):    # interleaved on purpose
+                cps = _time_run(scn, engine, seed)
+                if cps > best[engine]:
+                    best[engine] = cps
+        ratio = best["fast"] / best["legacy"] if best["legacy"] else 0.0
+        rows.append({
+            "scenario": scn.name,
+            "scheme": scn.scheme,
+            "pattern": scn.pattern,
+            "rate": scn.rate,
+            "stop_cycle": scn.stop_cycle,
+            "cycles": scn.cycles,
+            "width": scn.width,
+            "height": scn.height,
+            "legacy_cps": round(best["legacy"], 1),
+            "fast_cps": round(best["fast"], 1),
+            "ratio": round(ratio, 3),
+            "target_ratio": scn.target_ratio,
+            "ok": ratio >= scn.target_ratio,
+        })
+    return {
+        "benchmark": "simperf",
+        "repeats": repeats,
+        "seed": seed,
+        "scenarios": rows,
+        "ok": all(r["ok"] for r in rows),
+    }
+
+
+def write_bench_json(report: Dict, path: str = "BENCH_simperf.json") -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

@@ -69,6 +69,7 @@ def prepare_synthetic(scheme: str, pattern: str, rate: float,
                       seed: int = 1, width: int = 6, height: int = 6,
                       slot_table_size: int = 128,
                       cfg: Optional[NetworkConfig] = None,
+                      engine: str = "fast",
                       ) -> Tuple[Simulator, Network, list]:
     """Build the (sim, net, sources) triple for one synthetic run.
 
@@ -76,12 +77,14 @@ def prepare_synthetic(scheme: str, pattern: str, rate: float,
     rebuilding an *identical* object graph, so everything that runs a
     synthetic workload — including the replay verifier — must go through
     here (construction order matters: fault planning and traffic
-    attachment draw from the seeded generator).
+    attachment draw from the seeded generator).  ``engine`` selects the
+    scheduler ("fast" activity-tracked vs "legacy" run-everything); both
+    produce identical state trajectories (see ``verify_equivalence``).
     """
     if cfg is None:
         cfg = scheme_config(scheme, width=width, height=height,
                             slot_table_size=slot_table_size)
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, engine=engine)
     net: Network = build_network(cfg, sim)
     pat = make_pattern(pattern, net.mesh, sim.rng)
     sources = attach_synthetic_sources(net, pat, injection_rate=rate,

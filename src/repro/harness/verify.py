@@ -1,4 +1,4 @@
-"""Deterministic-replay verification.
+"""Deterministic-replay and engine-equivalence verification.
 
 The kernel promises that "runs are exactly reproducible"; this module
 checks the promise end to end through the snapshot machinery:
@@ -15,6 +15,14 @@ checks the promise end to end through the snapshot machinery:
 Any divergence means hidden state escaped the snapshot protocol (or a
 component drew randomness outside ``Simulator.rng``) and fails loudly —
 ``repro verify-replay`` runs this in CI.
+
+:func:`verify_equivalence` extends the same exact-oracle idea to the
+activity-tracked fast engine (see :mod:`repro.sim.kernel`): two builds
+of the identical workload — one per engine — run in lockstep, and every
+``interval`` cycles both must produce the same canonical ``state_hash``
+and stats fingerprint.  The fast engine's component-skipping is thereby
+gated by bit-exact equality against the run-everything scheduler rather
+than eyeballed figures; ``repro verify-equivalence`` runs this in CI.
 """
 
 from __future__ import annotations
@@ -119,5 +127,122 @@ def verify_replay(scheme: str, pattern: str = "transpose",
         hash_at_snapshot=h0,
         hash_original=h1,
         hash_replayed=h2,
+        mismatches=mismatches,
+    )
+
+
+# ---------------------------------------------------------------------------
+# differential engine equivalence
+# ---------------------------------------------------------------------------
+@dataclass
+class EquivalenceReport:
+    """Outcome of one legacy-vs-fast differential run."""
+
+    scheme: str
+    pattern: str
+    rate: float
+    cycles: int
+    interval: int
+    seed: int
+    ok: bool
+    checkpoints: int                 #: checkpoints compared
+    first_divergence: int            #: cycle of first mismatch (-1 if none)
+    hash_final_legacy: str
+    hash_final_fast: str
+    mismatches: List[str] = field(default_factory=list)
+
+
+def _reset_id_counters() -> None:
+    """Zero the module-global message/packet/connection id allocators.
+
+    Ids are part of the hashed state, so the two builds of a
+    differential pair must draw them from the same starting point —
+    exactly what a snapshot restore does via the ``ids`` sub-tree."""
+    from repro.core import circuit as _circuit_mod
+    from repro.network import flit as _flit_mod
+
+    _flit_mod._msg_ids.value = 0
+    _flit_mod._pkt_ids.value = 0
+    _circuit_mod._conn_ids.value = 0
+
+
+def verify_equivalence(scheme: str, pattern: str = "uniform_random",
+                       rate: float = 0.12, cycles: int = 300,
+                       interval: int = 100, seed: int = 1,
+                       width: int = 4, height: int = 4,
+                       slot_table_size: int = 32,
+                       stop_cycle: int | None = None) -> EquivalenceReport:
+    """Run one workload under both engines, compare state at checkpoints.
+
+    Both runs are built through :func:`prepare_synthetic` from the same
+    seed (with the global id allocators reset before each build) and
+    advanced ``interval`` cycles at a time; at every checkpoint the
+    canonical state hash and the stats fingerprint must agree exactly.
+    ``stop_cycle``, when set, stops the traffic sources mid-run so the
+    drain/quiescent path — where the fast engine actually sleeps
+    components — is exercised, not just the saturated path."""
+    if interval < 1:
+        raise ValueError("interval must be >= 1")
+    build = dict(seed=seed, width=width, height=height,
+                 slot_table_size=slot_table_size)
+
+    # The runs execute SEQUENTIALLY, not interleaved: the id allocators
+    # are module globals, so two simultaneously-live runs would draw
+    # interleaved ids and differ for a reason that has nothing to do
+    # with the engines.  Each run gets the counters reset to zero first.
+    def _run(engine: str):
+        _reset_id_counters()
+        sim, net, sources = prepare_synthetic(scheme, pattern, rate,
+                                              engine=engine, **build)
+        if stop_cycle is not None:
+            for src in sources:
+                src.stop_cycle = stop_cycle
+        hashes: List[str] = []
+        fps: List[Dict] = []
+        done = 0
+        while done < cycles:
+            chunk = min(interval, cycles - done)
+            try:
+                sim.run(chunk)
+            except LivelockError as exc:
+                raise RuntimeError(
+                    f"equivalence {engine} run livelocked at {exc.cycle};"
+                    f" choose a lower rate") from exc
+            done += chunk
+            hashes.append(state_hash(capture_state(sim, net)))
+            fps.append(_stats_fingerprint(sim, net))
+        return hashes, fps
+
+    hashes_l, fps_l = _run("legacy")
+    hashes_f, fps_f = _run("fast")
+
+    mismatches: List[str] = []
+    first_divergence = -1
+    checkpoints = len(hashes_l)
+    h_legacy = hashes_l[-1] if hashes_l else ""
+    h_fast = hashes_f[-1] if hashes_f else ""
+    done = 0
+    for i, (hl, hf) in enumerate(zip(hashes_l, hashes_f, strict=True)):
+        done = min((i + 1) * interval, cycles)
+        if hl != hf:
+            first_divergence = done
+            mismatches.append(
+                f"state hash at cycle {done}: "
+                f"legacy {hl[:16]} != fast {hf[:16]}")
+            for key in fps_l[i]:
+                if fps_l[i][key] != fps_f[i][key]:
+                    mismatches.append(
+                        f"stats {key} at cycle {done}: "
+                        f"{fps_l[i][key]!r} != {fps_f[i][key]!r}")
+            break
+
+    return EquivalenceReport(
+        scheme=scheme, pattern=pattern, rate=rate, cycles=cycles,
+        interval=interval, seed=seed,
+        ok=not mismatches,
+        checkpoints=checkpoints,
+        first_divergence=first_divergence,
+        hash_final_legacy=h_legacy,
+        hash_final_fast=h_fast,
         mismatches=mismatches,
     )

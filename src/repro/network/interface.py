@@ -43,6 +43,13 @@ class Endpoint:
     def tick(self, cycle: int) -> None:  # pragma: no cover - trivial
         pass
 
+    def quiescent(self, cycle: int) -> bool:
+        """True when :meth:`tick` is guaranteed to be a no-op (no RNG
+        draw, no sends) at *cycle* and at every later cycle — lets the
+        NI's activity-tracked scheduler put the node to sleep.  The
+        conservative default keeps the NI awake."""
+        return False
+
     def on_message(self, msg: Message, cycle: int) -> None:  # pragma: no cover
         pass
 
@@ -57,6 +64,9 @@ class Endpoint:
 class NetworkInterface(SimObject):
     """Packet-switched network interface for one node."""
 
+    #: NIs participate in activity-tracked sleeping (see sim/kernel.py)
+    _sim_can_sleep = True
+
     def __init__(self, node: int, cfg: NetworkConfig) -> None:
         self.node = node
         self.cfg = cfg
@@ -68,6 +78,7 @@ class NetworkInterface(SimObject):
         self.config_vc = num_vcs
 
         # wiring (set by builder)
+        self.sim = None                               # owning Simulator
         self.inject_link: Optional[FlitLink] = None   # NI -> router local in
         self.eject_link: Optional[FlitLink] = None    # router local out -> NI
         self.credit_in: Optional[CreditLink] = None   # router -> NI credits
@@ -99,6 +110,8 @@ class NetworkInterface(SimObject):
         #: fault hook: () -> bool, True to lose an outgoing CONFIG message
         self.config_loss_fn: Optional[Callable[[], bool]] = None
         self.config_drops = 0   #: CONFIG messages lost to injected faults
+        #: transient: precomputed injection VC orders (built lazily)
+        self._vc_orders = None
 
     # ------------------------------------------------------------------
     # message API
@@ -126,6 +139,7 @@ class NetworkInterface(SimObject):
         pkt = Packet(msg, src=self.node, dst=msg.dst, size=size, circuit=False)
         self.ps_queue.append((pkt, None))
         self.sent_messages += 1
+        self._sim_awake = True
 
     def enqueue_stream(self, pkt: Packet, flits: Deque[Flit]) -> None:
         """Queue pre-built flits for packet-switched injection (used for
@@ -145,13 +159,20 @@ class NetworkInterface(SimObject):
             flits[0].kind = FlitKind.HEAD
             flits[-1].kind = FlitKind.TAIL
         self.ps_queue.append((pkt, flits))
+        self._sim_awake = True
 
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
     def inject(self, cycle: int) -> None:
-        self._drain_credits(cycle)
-        self._drain_ejections(cycle)
+        # drains are inlined-guarded: the pipe checks here avoid two
+        # method calls per NI per cycle on the (common) empty path
+        ci = self.credit_in
+        if ci is not None and ci._pipe:
+            self._drain_credits(cycle)
+        el = self.eject_link
+        if el is not None and el._pipe:
+            self._drain_ejections(cycle)
         if self.endpoint is not None:
             self.endpoint.tick(cycle)
         self._pre_pump(cycle)
@@ -160,16 +181,39 @@ class NetworkInterface(SimObject):
     def _pre_pump(self, cycle: int) -> None:
         """Hook for the hybrid NI: switching decision + circuit queues."""
 
+    def sim_idle(self, cycle: int) -> bool:
+        """Idle iff the endpoint (if any) is quiescent — endpoints may
+        draw RNG every tick, so only a self-declared no-op endpoint can
+        be skipped — nothing is queued or streaming, and both inbound
+        pipes (ejections, credits) are empty."""
+        if self.ps_queue:
+            return False
+        ep = self.endpoint
+        if ep is not None and not ep.quiescent(cycle):
+            return False
+        for s in self.vc_in_use:
+            if s is not None:
+                return False
+        el = self.eject_link
+        if el is not None and el._pipe:
+            return False
+        ci = self.credit_in
+        if ci is not None and ci._pipe:
+            return False
+        return True
+
     # ------------------------------------------------------------------
     def _drain_credits(self, cycle: int) -> None:
-        if self.credit_in is not None:
-            for vc in self.credit_in.arrivals(cycle):
+        ci = self.credit_in
+        if ci is not None and ci._pipe:
+            for vc in ci.arrivals(cycle):
                 self.local_credits[vc] += 1
 
     def _drain_ejections(self, cycle: int) -> None:
-        if self.eject_link is None:
+        el = self.eject_link
+        if el is None or not el._pipe:
             return
-        for flit in self.eject_link.arrivals(cycle):
+        for flit in el.arrivals(cycle):
             self._receive_flit(flit, cycle)
 
     def _receive_flit(self, flit: Flit, cycle: int) -> None:
@@ -217,6 +261,7 @@ class NetworkInterface(SimObject):
     # injection pump
     # ------------------------------------------------------------------
     def _pump_injection(self, cycle: int) -> None:
+        vc_in_use = self.vc_in_use
         # grab a free VC for the packet at the head of the queue
         if self.ps_queue:
             head_pkt, prebuilt = self.ps_queue[0]
@@ -227,14 +272,15 @@ class NetworkInterface(SimObject):
                     else deque(head_pkt.make_flits())
                 for f in flits:
                     f.vc = vc
-                self.vc_in_use[vc] = flits
+                vc_in_use[vc] = flits
                 if head_pkt.inject_cycle is None:
                     head_pkt.inject_cycle = cycle
+        elif vc_in_use.count(None) == len(vc_in_use):
+            return  # nothing queued, nothing streaming
         # stream at most one flit per cycle into the injection link
         # (the local input port is one physical channel)
-        sent = False
         for vc in self._injection_vc_order(cycle):
-            stream = self.vc_in_use[vc]
+            stream = vc_in_use[vc]
             if stream is None:
                 continue
             if self.local_credits[vc] <= 0:
@@ -245,20 +291,24 @@ class NetworkInterface(SimObject):
             self.ledger.injected += 1
             self.counters.inc("flit_injected")
             if not stream:
-                self.vc_in_use[vc] = None
-            sent = True
+                vc_in_use[vc] = None
             break
-        if sent:
-            return
 
-    def _injection_vc_order(self, cycle: int) -> List[int]:
+    def _injection_vc_order(self, cycle: int):
         # config VC first (setup/ack messages are latency critical and
-        # account for <1% of traffic), then data VCs round-robin
-        order = [self.config_vc]
-        n = self.cfg.router.num_vcs
-        start = cycle % n if n else 0
-        order.extend(((start + i) % n) for i in range(n))
-        return order
+        # account for <1% of traffic), then data VCs round-robin; the
+        # n possible rotations are precomputed once (allocation-free)
+        orders = self._vc_orders
+        if orders is None:
+            n = self.cfg.router.num_vcs
+            cv = self.config_vc
+            if n:
+                orders = [tuple([cv] + [(s + i) % n for i in range(n)])
+                          for s in range(n)]
+            else:
+                orders = [(cv,)]
+            self._vc_orders = orders
+        return orders[cycle % len(orders)]
 
     def _allocate_injection_vc(self, pkt: Packet) -> Optional[int]:
         if pkt.mclass == MessageClass.CONFIG:

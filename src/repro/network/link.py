@@ -32,7 +32,7 @@ class FlitLink:
     """
 
     __slots__ = ("latency", "_pipe", "flits_carried", "faulty",
-                 "flits_dropped", "drop_sink")
+                 "flits_dropped", "drop_sink", "wake_sink")
 
     def __init__(self, latency: int = HOP_LATENCY) -> None:
         if latency < 1:
@@ -43,6 +43,9 @@ class FlitLink:
         self.faulty = False
         self.flits_dropped = 0
         self.drop_sink = None   # set by the LinkHealthMap when faults on
+        #: consumer SimObject woken on send (wiring, excluded from state);
+        #: latency >= 1 guarantees the wake precedes the arrival
+        self.wake_sink = None
 
     def send(self, flit: Flit, cycle: int) -> None:
         """Enqueue *flit* during *cycle*; it arrives at ``cycle+latency``."""
@@ -53,6 +56,9 @@ class FlitLink:
             return
         self._pipe.append((cycle + self.latency, flit))
         self.flits_carried += 1
+        ws = self.wake_sink
+        if ws is not None:
+            ws._sim_awake = True
 
     def arrivals(self, cycle: int) -> List[Flit]:
         """Pop and return every flit due at *cycle*."""
@@ -87,16 +93,21 @@ class CreditLink:
     :meth:`arrivals` at the start of each cycle.
     """
 
-    __slots__ = ("latency", "_pipe")
+    __slots__ = ("latency", "_pipe", "wake_sink")
 
     def __init__(self, latency: int = 1) -> None:
         if latency < 1:
             raise ValueError("credit latency must be >= 1")
         self.latency = latency
         self._pipe: Deque[Tuple[int, int]] = deque()
+        #: consumer SimObject woken on send (wiring, excluded from state)
+        self.wake_sink = None
 
     def send(self, vc: int, cycle: int) -> None:
         self._pipe.append((cycle + self.latency, vc))
+        ws = self.wake_sink
+        if ws is not None:
+            ws._sim_awake = True
 
     def arrivals(self, cycle: int) -> List[int]:
         out: List[int] = []

@@ -240,8 +240,10 @@ class Network:
         return self.routers[node]
 
     def attach_endpoint(self, node: int, endpoint) -> None:
-        self.interfaces[node].endpoint = endpoint
-        endpoint.attach(self.interfaces[node])
+        ni = self.interfaces[node]
+        ni.endpoint = endpoint
+        ni._sim_awake = True   # an endpoint must be ticked every cycle
+        endpoint.attach(ni)
 
 
 def _wire(cfg: NetworkConfig, sim: Simulator,
@@ -257,10 +259,14 @@ def _wire(cfg: NetworkConfig, sim: Simulator,
         r = routers[node]
         ni = interfaces[node]
         r.rng = sim.rng
+        ni.sim = sim
         # NI <-> router local port
         inj = FlitLink(latency=1)
         ej = FlitLink(latency=HOP_LATENCY)
         cr = CreditLink(latency=1)
+        inj.wake_sink = r    # NI -> router flits wake the router
+        ej.wake_sink = ni    # router -> NI ejections wake the NI
+        cr.wake_sink = ni    # router -> NI credits wake the NI
         links.extend([inj, ej])
         ni.inject_link = inj
         ni.eject_link = ej
@@ -273,6 +279,8 @@ def _wire(cfg: NetworkConfig, sim: Simulator,
             nbr = mesh.neighbor(node, port)
             flink = FlitLink(latency=HOP_LATENCY)
             clink = CreditLink(latency=1)
+            flink.wake_sink = routers[nbr]   # flits wake the downstream
+            clink.wake_sink = r              # credits wake the upstream
             links.append(flink)
             r.connect_output(port, flink, clink, routers[nbr], depth, cdepth)
             routers[nbr].connect_input(opposite_port(port), flink, clink)

@@ -45,6 +45,8 @@ EJECT_CREDITS = 1 << 30
 class PacketRouter(SimObject):
     """One mesh router with 5 ports x (num_vcs data + 1 config) VCs."""
 
+    _sim_can_sleep = True
+
     def __init__(self, node: int, cfg: NetworkConfig, mesh: Mesh) -> None:
         self.node = node
         self.cfg = cfg
@@ -104,6 +106,17 @@ class PacketRouter(SimObject):
         #: pipeline clock is held) until this cycle
         self.stalled_until = 0
 
+        # fast-path transients (derived/wiring state, never snapshotted):
+        #: owned downstream VCs per outport — lets switch allocation skip
+        #: outports with no claimant instead of scanning every VC
+        self._owned_out = [0] * NUM_PORTS
+        #: reusable crossbar-input-usage scratch for ``_sa_st``
+        self._used_in_scratch = [False] * NUM_PORTS
+        #: (port, link) lists for ``deliver``, built on first use
+        self._deliver_lists = None
+        #: deterministic X-Y route memo keyed by destination node
+        self._xy_cache: dict = {}
+
     # ------------------------------------------------------------------
     # wiring helpers (used by the network builder)
     # ------------------------------------------------------------------
@@ -133,17 +146,45 @@ class PacketRouter(SimObject):
     # ------------------------------------------------------------------
     def deliver(self, cycle: int) -> None:
         """Drain credit returns and stage arriving flits."""
-        for outport in range(NUM_PORTS):
-            clink = self.credit_in[outport]
-            if clink is not None:
+        lists = self._deliver_lists
+        if lists is None:
+            lists = self._deliver_lists = (
+                [(p, cl) for p, cl in enumerate(self.credit_in)
+                 if cl is not None],
+                [(p, fl) for p, fl in enumerate(self.in_links)
+                 if fl is not None],
+            )
+        for outport, clink in lists[0]:
+            if clink._pipe:
+                credits = self.credits[outport]
                 for vc in clink.arrivals(cycle):
-                    self.credits[outport][vc] += 1
-        for inport in range(NUM_PORTS):
-            flink = self.in_links[inport]
-            if flink is not None:
+                    credits[vc] += 1
+        for inport, flink in lists[1]:
+            if flink._pipe:
                 flits = flink.arrivals(cycle)
                 if flits:
                     self._arrivals[inport].extend(flits)
+
+    def sim_idle(self, cycle: int) -> bool:
+        """No buffered or staged flits, nothing on any incoming link or
+        credit pipe, and no always-on controller attached.
+
+        Gating routers never sleep: ``_sample_utilisation`` integrates
+        VC occupancy (and the controller epochs) every single cycle.
+        """
+        if self._buffered_flits or self.gating is not None \
+                or cycle < self.stalled_until:
+            return False
+        for staged in self._arrivals:
+            if staged:
+                return False
+        for flink in self.in_links:
+            if flink is not None and flink._pipe:
+                return False
+        for clink in self.credit_in:
+            if clink is not None and clink._pipe:
+                return False
+        return True
 
     def transfer(self, cycle: int) -> None:
         if cycle < self.stalled_until:
@@ -222,6 +263,7 @@ class PacketRouter(SimObject):
                 if ovc is not None:
                     vcobj.out_vc = ovc
                     self.out_vc_owner[vcobj.route_outport][ovc] = (inport, invc)
+                    self._owned_out[vcobj.route_outport] += 1
                     self.counters.inc("vc_arb")
 
     def _compute_route(self, inport: int, head: Flit,
@@ -238,7 +280,13 @@ class PacketRouter(SimObject):
         lh = self.link_health
         if lh is not None and lh.any_faults:
             return self._route_fault_aware(inport, pkt)
-        return xy_outport(self.mesh, self.node, pkt.dst)
+        # X-Y routing is a pure function of (this node, destination):
+        # memoise it instead of re-deriving coordinates per packet
+        out = self._xy_cache.get(pkt.dst)
+        if out is None:
+            out = self._xy_cache[pkt.dst] = xy_outport(
+                self.mesh, self.node, pkt.dst)
+        return out
 
     def _route_adaptive(self, pkt, inport: int = LOCAL) -> Optional[int]:
         """Minimal adaptive (odd-even) selection by downstream credit;
@@ -311,12 +359,18 @@ class PacketRouter(SimObject):
         return False
 
     def _sa_st(self, cycle: int) -> None:
-        used_in = self._cs_used_inports(cycle)
+        owned = self._owned_out
+        used_in = None
         for outport in range(NUM_PORTS):
-            if self.out_links[outport] is None:
+            # no allocated output VC -> _sa_pick cannot find a candidate;
+            # skipping it (and the side-effect-free block check) early is
+            # behaviour-identical and avoids the per-VC owner scan
+            if not owned[outport] or self.out_links[outport] is None:
                 continue
             if self._out_blocked_for_ps(outport, cycle):
                 continue
+            if used_in is None:
+                used_in = self._cs_used_inports(cycle)
             winner = self._sa_pick(outport, used_in, cycle)
             if winner is None:
                 continue
@@ -326,8 +380,15 @@ class PacketRouter(SimObject):
 
     def _cs_used_inports(self, cycle: int) -> List[bool]:
         """Hook: input ports whose crossbar input a circuit-switched flit
-        consumed this cycle (the hybrid router overrides this)."""
-        return [False] * NUM_PORTS
+        consumed this cycle (the hybrid router overrides this).
+
+        Returns a per-call-reusable scratch list owned by this router —
+        callers may mutate it but must not keep it across cycles.
+        """
+        scratch = self._used_in_scratch
+        for i in range(NUM_PORTS):
+            scratch[i] = False
+        return scratch
 
     def _sa_pick(self, outport: int, used_in: List[bool],
                  cycle: int) -> Optional[Tuple[int, int, int]]:
@@ -379,6 +440,7 @@ class PacketRouter(SimObject):
         flit.packet.hops_taken += 1
         if flit.is_tail:
             self.out_vc_owner[outport][ovc] = None
+            self._owned_out[outport] -= 1
             vcobj.clear_route()
         self.out_links[outport].send(flit, cycle)
 
@@ -476,6 +538,8 @@ class PacketRouter(SimObject):
         self._arrivals = [list(a) for a in state["arrivals"]]
         self.credits = [list(row) for row in state["credits"]]
         self.out_vc_owner = [list(row) for row in state["out_vc_owner"]]
+        self._owned_out = [sum(1 for o in row if o is not None)
+                           for row in self.out_vc_owner]
         self.active_vcs = state["active_vcs"]
         self.powered_vcs = state["powered_vcs"]
         self.vc_power_integral = state["vc_power_integral"]

@@ -31,13 +31,28 @@ class SDMNetworkInterface(NetworkInterface):
                               + [cfg.router.config_vc_depth])
         self.vc_in_use = [None] * self.total_vcs
         self.manager = None
-        self._now = 0
+        self._last_inject = 0       #: cycle of the last executed inject
         self._cs_outstanding = 0
+
+    @property
+    def _now(self) -> int:
+        """Derived current-time clock — see the TDM hybrid NI for the
+        full argument.  Not snapshot state."""
+        last = self._last_inject
+        sim = self.sim
+        if sim is not None and sim.cycle - 1 > last:
+            return sim.cycle - 1
+        return last
 
     # ------------------------------------------------------------------
     def inject(self, cycle: int) -> None:
-        self._now = cycle
+        self._last_inject = cycle
         super().inject(cycle)
+
+    def sim_idle(self, cycle: int) -> bool:
+        if self._cs_outstanding:
+            return False
+        return NetworkInterface.sim_idle(self, cycle)
 
     # ------------------------------------------------------------------
     def send(self, msg: Message) -> None:
@@ -60,6 +75,7 @@ class SDMNetworkInterface(NetworkInterface):
                      circuit=False)
         self.ps_queue.append((pkt, None))
         self.sent_messages += 1
+        self._sim_awake = True
 
     def _send_circuit(self, msg: Message, plan) -> None:
         pkt = Packet(msg, src=self.node, dst=plan.circuit_dst,
@@ -168,14 +184,12 @@ class SDMNetworkInterface(NetworkInterface):
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         state = super().state_dict()
-        state.update({"cs_outstanding": self._cs_outstanding,
-                      "now": self._now})
+        state.update({"cs_outstanding": self._cs_outstanding})
         return state
 
     def load_state_dict(self, state: dict) -> None:
         super().load_state_dict(state)
         self._cs_outstanding = state["cs_outstanding"]
-        self._now = state["now"]
 
     @property
     def pending_flits(self) -> int:

@@ -71,6 +71,8 @@ class SDMRouter(PacketRouter):
             [False] * self.planes for _ in range(NUM_PORTS)]
         self._cs_inject: Dict[int, List] = {}
         self.on_setup_rejected: Optional[Callable] = None
+        # transient (rebuilt on restore): per-outport owned-VC counts
+        self._owned_out = [0] * NUM_PORTS
 
     # ------------------------------------------------------------------
     def connect_output(self, outport, link, credit_from, downstream,
@@ -102,6 +104,21 @@ class SDMRouter(PacketRouter):
             self._sa_st(cycle)
         if self.gating is not None:
             self._sample_utilisation()
+
+    def sim_idle(self, cycle: int) -> bool:
+        """Idle iff the packet pipeline is idle and no circuit activity is
+        pending.  The plane-usage flags are reset at the *start* of the
+        next :meth:`transfer`, so a router that carried circuit traffic
+        this cycle stays awake one extra cycle to run that reset."""
+        if self._cs_inject:
+            return False
+        for row in self._cs_in_used:
+            if True in row:
+                return False
+        for row in self._cs_out_used:
+            if True in row:
+                return False
+        return PacketRouter.sim_idle(self, cycle)
 
     # ------------------------------------------------------------------
     # circuit datapath
@@ -137,6 +154,7 @@ class SDMRouter(PacketRouter):
                               on_fail: Callable, token: dict) -> None:
         self._cs_inject.setdefault(cycle, []).append(
             (flit, on_ok, on_fail, token))
+        self._sim_awake = True
 
     def _process_cs_injections(self, cycle: int) -> None:
         injections = self._cs_inject.pop(cycle, None)
@@ -232,17 +250,21 @@ class SDMRouter(PacketRouter):
                 if ovc is not None:
                     vcobj.out_vc = ovc
                     self.out_vc_owner[vcobj.route_outport][ovc] = (inport, invc)
+                    self._owned_out[vcobj.route_outport] += 1
                     self.counters.inc("vc_arb")
 
     # ------------------------------------------------------------------
     # plane-parallel switch allocation
     # ------------------------------------------------------------------
     def _sa_st(self, cycle: int) -> None:
-        used_in = [row[:] for row in self._cs_in_used]
+        owned = self._owned_out
+        used_in = None
         # config escape slice: one grant per outport per cycle
         for outport in range(NUM_PORTS):
-            if self.out_links[outport] is None:
+            if not owned[outport] or self.out_links[outport] is None:
                 continue
+            if used_in is None:
+                used_in = [row[:] for row in self._cs_in_used]
             self._sa_config(outport, cycle)
             for plane in range(self.planes):
                 if self._cs_out_used[outport][plane]:
@@ -314,6 +336,7 @@ class SDMRouter(PacketRouter):
         flit.packet.hops_taken += 1
         if flit.is_tail:
             self.out_vc_owner[outport][ovc] = None
+            self._owned_out[outport] -= 1
             vcobj.clear_route()
         self.out_links[outport].send(flit, cycle)
 

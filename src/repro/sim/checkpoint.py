@@ -110,6 +110,9 @@ def restore_state(sim, net, tree: Dict) -> None:
     _flit_mod._pkt_ids.value = int(tree["ids"]["pkt"])
     _circuit_mod._conn_ids.value = int(tree["ids"]["conn"])
     net.load_state_dict(tree["net"])
+    # sleep flags are scheduler metadata, not state: after a restore every
+    # object must re-evaluate its quiescence from the loaded state
+    sim.wake_all()
 
 
 def _freeze(tree: Dict) -> Dict:

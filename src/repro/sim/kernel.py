@@ -17,6 +17,30 @@ Phases per cycle (in order):
 
 All randomness must come from :attr:`Simulator.rng` (a seeded NumPy
 ``Generator``) so runs are exactly reproducible.
+
+Engines
+-------
+The simulator ships two schedulers that are *behaviourally identical*
+(verified by the differential-equivalence harness in
+:mod:`repro.harness.verify`):
+
+``legacy``
+    Every registered object runs every phase it overrides, every cycle.
+
+``fast`` (default)
+    Activity-tracked: a component whose :meth:`SimObject.sim_idle`
+    predicate holds at the end of a cycle is put to sleep and skipped
+    until an event wakes it — a flit or credit entering one of its
+    links (:class:`~repro.network.link.FlitLink` pokes its
+    ``wake_sink``), a message enqueued at an NI, a circuit injection
+    scheduled on a router, an endpoint attachment, or a snapshot
+    restore.  Sleep is only entered after the component has executed a
+    provably no-op cycle, so skipped phases never differ from the
+    no-ops the legacy engine would have run, and ``state_hash`` stays
+    identical cycle for cycle.  Fault-injected runs disable sleeping
+    wholesale (:meth:`Simulator.disable_sleep`): fault events mutate
+    components behind the scheduler's back, and correctness beats speed
+    on those rare runs.
 """
 
 from __future__ import annotations
@@ -71,6 +95,25 @@ class SimObject:
 
     #: names of mutable attributes captured by the default state_dict
     _state_attrs: Tuple[str, ...] = ()
+
+    #: classes opting into activity tracking set this True and provide a
+    #: sound :meth:`sim_idle`; everything else runs every cycle
+    _sim_can_sleep: bool = False
+
+    #: scheduler metadata — NEVER part of ``state_dict`` (both engines
+    #: must hash identically); set by :meth:`Simulator.add`
+    _sim_awake: bool = True
+
+    def sim_idle(self, cycle: int) -> bool:
+        """True when every phase of this object would be a no-op at
+        *cycle + 1* and stay a no-op until an external wake event.
+
+        The contract (checked by the differential harness): while the
+        object sleeps, the legacy engine running its phases must mutate
+        *no* state captured by :meth:`state_dict` and draw nothing from
+        the simulator RNG.
+        """
+        return False
 
     def deliver(self, cycle: int) -> None:  # pragma: no cover - trivial
         pass
@@ -163,14 +206,28 @@ class Simulator:
         Seed for the simulation-global random generator.  Every stochastic
         decision in the models (traffic destinations, injection coin flips,
         adaptive-route tie breaks, ...) draws from :attr:`rng`.
+    engine:
+        ``"fast"`` (default) skips sleeping components via the
+        activity-tracked scheduler; ``"legacy"`` runs every phase of
+        every object each cycle.  Both produce identical ``state_hash``
+        trajectories (see the module docstring).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    ENGINES = ("fast", "legacy")
+
+    def __init__(self, seed: int = 0, engine: str = "fast") -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {self.ENGINES}")
         self.cycle: int = 0
         self.rng: np.random.Generator = np.random.default_rng(seed)
+        self.engine = engine
         self._phase_lists: dict[str, List[SimObject]] = {p: [] for p in PHASES}
         self._objects: List[SimObject] = []
         self._end_hooks: List[Callable[[int], None]] = []
+        self._sleepables: List[SimObject] = []
+        self._sleep_enabled = engine == "fast"
+        self._step = self._step_fast if engine == "fast" else self._step_legacy
 
     # ------------------------------------------------------------------
     # registration
@@ -178,9 +235,12 @@ class Simulator:
     def add(self, obj: SimObject) -> SimObject:
         """Register *obj* for every phase it overrides. Returns *obj*."""
         self._objects.append(obj)
+        obj._sim_awake = True
         for phase in PHASES:
             if _overrides(obj, phase):
                 self._phase_lists[phase].append(obj)
+        if obj._sim_can_sleep:
+            self._sleepables.append(obj)
         return obj
 
     def add_end_hook(self, fn: Callable[[int], None]) -> None:
@@ -210,10 +270,40 @@ class Simulator:
         self.rng.bit_generator.state = state["rng"]
 
     # ------------------------------------------------------------------
+    # sleep management (fast engine)
+    # ------------------------------------------------------------------
+    def wake_all(self) -> None:
+        """Wake every registered object (used after snapshot restore and
+        by :meth:`disable_sleep` — pending work may have appeared in
+        components the scheduler believed idle)."""
+        for obj in self._objects:
+            obj._sim_awake = True
+
+    def disable_sleep(self) -> None:
+        """Permanently fall back to run-everything scheduling.
+
+        Called by the fault-injection subsystem: fault events (link
+        kills, router stalls, packet drops) mutate components without
+        going through a wake hook, so activity tracking is unsound for
+        those runs.
+        """
+        self._sleep_enabled = False
+        self._step = self._step_legacy
+        self.wake_all()
+
+    @property
+    def sleeping_objects(self) -> int:
+        """Number of currently sleeping components (introspection)."""
+        return sum(1 for obj in self._sleepables if not obj._sim_awake)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by one cycle."""
+        self._step()
+
+    def _step_legacy(self) -> None:
         c = self.cycle
         for obj in self._phase_lists["deliver"]:
             obj.deliver(c)
@@ -223,6 +313,36 @@ class Simulator:
             obj.inject(c)
         for obj in self._phase_lists["control"]:
             obj.control(c)
+        self.cycle = c + 1
+
+    def _step_fast(self) -> None:
+        """One cycle, skipping sleeping components.
+
+        A component woken mid-cycle (flit sent into one of its links)
+        runs its remaining phases this cycle; since it was idle when it
+        went to sleep and nothing has *arrived* yet (link latency >= 1),
+        those phases are the same no-ops the legacy engine would run.
+        """
+        c = self.cycle
+        for obj in self._phase_lists["deliver"]:
+            if obj._sim_awake:
+                obj.deliver(c)
+        for obj in self._phase_lists["transfer"]:
+            if obj._sim_awake:
+                obj.transfer(c)
+        for obj in self._phase_lists["inject"]:
+            if obj._sim_awake:
+                obj.inject(c)
+        for obj in self._phase_lists["control"]:
+            if obj._sim_awake:
+                obj.control(c)
+        # sleep decision: only after the object has just executed a
+        # provably no-op cycle (its predicate holds *now*), so any
+        # end-of-activity bookkeeping (e.g. the hybrid router's
+        # crossbar-usage flags) has already settled to the idle state
+        for obj in self._sleepables:
+            if obj._sim_awake and obj.sim_idle(c):
+                obj._sim_awake = False
         self.cycle = c + 1
 
     def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:

@@ -41,6 +41,13 @@ class SyntheticSource(Endpoint):
         self.messages_generated = 0
         self.messages_received = 0
 
+    def quiescent(self, cycle: int) -> bool:
+        # mirrors tick() exactly: a stopped or zero-rate source returns
+        # before touching the RNG, now and at every later cycle (rates
+        # are only ever lowered at runtime, never raised)
+        return (self.msg_prob <= 0
+                or (self.stop_cycle is not None and cycle >= self.stop_cycle))
+
     def tick(self, cycle: int) -> None:
         if self.stop_cycle is not None and cycle >= self.stop_cycle:
             return

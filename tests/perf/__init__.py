@@ -1,0 +1,1 @@
+"""Fast-engine performance and equivalence tests."""

@@ -3,6 +3,10 @@
 Commands
 --------
 
+``run``       one synthetic simulation, optionally traced
+              (``--trace``/``--metrics``)
+``trace``     short traced run: writes a JSONL + Chrome/Perfetto trace
+              and prints the event summary
 ``sweep``     load-latency sweep over synthetic traffic (Figure 4 style)
 ``energy``    energy-saving comparison at one injection rate (Figure 5)
 ``hetero``    one heterogeneous workload mix across schemes (Figure 8)
@@ -27,6 +31,8 @@ Examples
 --------
 
     python -m repro sweep transpose --rates 0.1,0.3,0.5
+    python -m repro run hybrid_tdm_vc4 --trace out/run --metrics out/m.json
+    python -m repro trace hybrid_tdm_vc4 --pattern tornado
     python -m repro sweep transpose --supervised --run-dir runs/t1
     python -m repro resume runs/t1
     python -m repro verify-replay --schemes packet_vc4,hybrid_tdm_vc4
@@ -59,12 +65,85 @@ def _emit(headers, rows, title: str, csv_path: Optional[str]) -> None:
         print(f"\nwrote {csv_path}")
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="PREFIX",
+                   help="write a structured trace to PREFIX.jsonl and "
+                        "PREFIX.chrome.json (Perfetto-loadable)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a sampled metrics time series to PATH")
+    p.add_argument("--metrics-interval", type=int, default=100,
+                   help="cycles between metrics samples")
+
+
+def _make_observability(trace_prefix: Optional[str],
+                        metrics_path: Optional[str],
+                        metrics_interval: int = 100):
+    """Observability bundle from CLI flags, or None when neither is set."""
+    if not trace_prefix and not metrics_path:
+        return None
+    from repro.obs import Observability
+    return Observability(
+        trace_jsonl=f"{trace_prefix}.jsonl" if trace_prefix else None,
+        trace_chrome=f"{trace_prefix}.chrome.json" if trace_prefix else None,
+        metrics_path=metrics_path,
+        sample_interval=metrics_interval)
+
+
+def _print_obs_summary(summary) -> None:
+    if not summary:
+        return
+    if "events" in summary:
+        print(f"\ntrace: {summary['events']} events "
+              f"({summary['dropped']} dropped)")
+        for ev, n in summary.get("counts", {}).items():
+            print(f"  {ev:<16} {n}")
+    for key in ("trace_jsonl", "trace_chrome", "metrics_path"):
+        if summary.get(key):
+            print(f"wrote {summary[key]}")
+
+
 # ---------------------------------------------------------------------------
+def cmd_run(args) -> int:
+    obs = _make_observability(args.trace, args.metrics,
+                              args.metrics_interval)
+    r = run_synthetic(args.scheme, args.pattern, args.rate,
+                      warmup=args.warmup, measure=args.measure,
+                      seed=args.seed, width=args.width, height=args.height,
+                      slot_table_size=args.slot_table_size,
+                      observability=obs)
+    rows = [(r.scheme, r.offered, r.accepted, r.avg_latency, r.p99_latency,
+             r.cs_fraction, r.energy.total / 1e6, r.note or "ok")]
+    _emit(("scheme", "offered", "accepted", "avg_lat", "p99", "cs_frac",
+           "total_uJ", "status"), rows,
+          f"Run: {args.scheme} @ {args.pattern} rate {args.rate}", args.csv)
+    if obs is not None:
+        _print_obs_summary(obs.finalize_summary)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    prefix = args.out or f"trace-{args.scheme}"
+    obs = _make_observability(prefix, args.metrics, args.metrics_interval)
+    r = run_synthetic(args.scheme, args.pattern, args.rate,
+                      warmup=args.warmup, measure=args.measure,
+                      seed=args.seed, width=args.width, height=args.height,
+                      slot_table_size=args.slot_table_size,
+                      observability=obs)
+    print(f"{args.scheme} @ {args.pattern} rate {args.rate}: "
+          f"{r.messages_delivered} messages, "
+          f"avg latency {r.avg_latency:.1f}"
+          + (f" ({r.note})" if r.note else ""))
+    _print_obs_summary(obs.finalize_summary)
+    return 0
+
+
 def cmd_sweep(args) -> int:
     rates = [float(r) for r in args.rates.split(",")]
     schemes = args.schemes.split(",")
     if args.supervised:
         return _supervised_sweep(args, schemes, rates)
+    if args.trace or args.metrics:
+        return _observed_sweep(args, schemes, rates)
     rows = []
     for scheme in schemes:
         for r in load_latency_sweep(scheme, args.pattern, rates=rates,
@@ -73,6 +152,31 @@ def cmd_sweep(args) -> int:
                          r.p99_latency, r.cs_fraction))
     _emit(("scheme", "offered", "accepted", "avg_lat", "p99", "cs_frac"),
           rows, f"Load-latency sweep: {args.pattern}", args.csv)
+    return 0
+
+
+def _observed_sweep(args, schemes, rates) -> int:
+    """In-process sweep with per-point trace/metrics dumps under an
+    output directory (one file set per (scheme, rate) point)."""
+    import os
+    out_dir = args.run_dir or "obs"
+    os.makedirs(out_dir, exist_ok=True)
+    rows = []
+    for scheme in schemes:
+        for rate in rates:
+            stem = os.path.join(out_dir,
+                                f"{scheme}-{args.pattern}-{rate:g}")
+            obs = _make_observability(
+                stem if args.trace else None,
+                stem + ".metrics.json" if args.metrics else None,
+                args.metrics_interval)
+            r = run_synthetic(scheme, args.pattern, rate, seed=args.seed,
+                              observability=obs)
+            rows.append((scheme, r.offered, r.accepted, r.avg_latency,
+                         r.p99_latency, r.cs_fraction))
+    _emit(("scheme", "offered", "accepted", "avg_lat", "p99", "cs_frac"),
+          rows, f"Load-latency sweep: {args.pattern}", args.csv)
+    print(f"\nper-point observability dumps under {out_dir}/")
     return 0
 
 
@@ -109,7 +213,10 @@ def _supervised_sweep(args, schemes, rates) -> int:
     ckpt = CheckpointConfig(enabled=args.checkpoint_cycles > 0,
                             interval_cycles=args.checkpoint_cycles)
     points = build_sweep_points(schemes, args.pattern, rates,
-                                seed=args.seed)
+                                seed=args.seed,
+                                trace=bool(args.trace),
+                                metrics=bool(args.metrics),
+                                metrics_interval=args.metrics_interval)
 
     def progress(index, point, outcome, attempts):
         print(f"[{index + 1}/{len(points)}] {point['scheme']} "
@@ -170,7 +277,10 @@ def cmd_verify_equivalence(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.harness.bench import run_bench, write_bench_json
+    import json as json_mod
+
+    from repro.harness.bench import (compare_to_baseline, run_bench,
+                                     write_bench_json)
 
     report = run_bench(repeats=args.repeats, seed=args.seed)
     rows = [(r["scenario"], r["legacy_cps"], r["fast_cps"], r["ratio"],
@@ -181,7 +291,21 @@ def cmd_bench(args) -> int:
         rows, title=f"Engine throughput (best of {args.repeats})"))
     write_bench_json(report, args.json)
     print(f"\nwrote {args.json}")
-    return 0 if report["ok"] else 1
+    ok = report["ok"]
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json_mod.load(fh)
+        failures = compare_to_baseline(report, baseline,
+                                       tolerance=args.tolerance)
+        if failures:
+            ok = False
+            print(f"\nregression vs {args.baseline}:")
+            for failure in failures:
+                print(f"  {failure}")
+        else:
+            print(f"\nno regression vs {args.baseline} "
+                  f"(tolerance {100 * args.tolerance:.0f}%)")
+    return 0 if ok else 1
 
 
 def cmd_energy(args) -> int:
@@ -289,6 +413,39 @@ def build_parser() -> argparse.ArgumentParser:
         description="TDM hybrid-switched NoC reproduction (Yin et al. 2014)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p = sub.add_parser("run", help="one synthetic run, optionally traced")
+    p.add_argument("scheme", nargs="?", default="hybrid_tdm_vc4",
+                   choices=list(SCHEMES))
+    p.add_argument("--pattern", default="transpose")
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument("--warmup", type=int, default=1500)
+    p.add_argument("--measure", type=int, default=4000)
+    p.add_argument("--width", type=int, default=6)
+    p.add_argument("--height", type=int, default=6)
+    p.add_argument("--slot-table-size", type=int, default=128)
+    _add_obs_flags(p)
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("trace",
+                       help="short traced run (JSONL + Perfetto trace)")
+    p.add_argument("scheme", nargs="?", default="hybrid_tdm_vc4",
+                   choices=list(SCHEMES))
+    p.add_argument("--pattern", default="transpose")
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument("--warmup", type=int, default=300)
+    p.add_argument("--measure", type=int, default=700)
+    p.add_argument("--width", type=int, default=4)
+    p.add_argument("--height", type=int, default=4)
+    p.add_argument("--slot-table-size", type=int, default=64)
+    p.add_argument("--out", default=None, metavar="PREFIX",
+                   help="trace file prefix (default trace-<scheme>)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="also write a metrics time series to PATH")
+    p.add_argument("--metrics-interval", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_trace)
+
     p = sub.add_parser("sweep", help="load-latency sweep (Figure 4 style)")
     p.add_argument("pattern", nargs="?", default="transpose")
     p.add_argument("--rates", default="0.05,0.15,0.25,0.35,0.45")
@@ -305,6 +462,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retries for crashed/timed-out points")
     p.add_argument("--checkpoint-cycles", type=int, default=0,
                    help="snapshot each point's state every N cycles")
+    p.add_argument("--trace", action="store_true",
+                   help="write per-point trace dumps (JSONL + Chrome "
+                        "format) next to the results")
+    p.add_argument("--metrics", action="store_true",
+                   help="write per-point metrics time series next to "
+                        "the results")
+    p.add_argument("--metrics-interval", type=int, default=100,
+                   help="cycles between metrics samples")
     _add_common(p)
     p.set_defaults(fn=cmd_sweep)
 
@@ -354,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="interleaved timing repeats; best run kept")
     p.add_argument("--json", default="BENCH_simperf.json",
                    help="output path for the machine-readable report")
+    p.add_argument("--baseline", default=None,
+                   help="committed BENCH_simperf.json to regress "
+                        "fast-engine throughput against")
+    p.add_argument("--tolerance", type=float, default=0.02,
+                   help="allowed fractional slowdown vs the baseline")
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=cmd_bench)
 

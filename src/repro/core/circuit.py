@@ -39,6 +39,7 @@ from repro.network.flit import (
     MessageClass,
 )
 from repro.network.topology import LOCAL, Mesh
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.kernel import SimObject
 
 _conn_ids = IdSource(1)
@@ -162,6 +163,11 @@ class ConnectionManager(SimObject):
         self.teardowns_confirmed = 0
         self.circuits_nacked = 0
         self.pairs_demoted = 0
+
+        #: trace recorder; NULL_RECORDER keeps every guarded emission
+        #: site a single falsy attribute check (never snapshot state)
+        self.obs = NULL_RECORDER
+        self._obs_track = f"ni-{node}"
 
     # ------------------------------------------------------------------
     # reservation duration (vicinity needs one extra header slot)
@@ -363,6 +369,9 @@ class ConnectionManager(SimObject):
                                 duration, conn.conn_id)
         self._send_config(dst, payload, now)
         self.setups_sent += 1
+        if self.obs.enabled:
+            self.obs.cs_setup(now, self._obs_track, conn.conn_id, "send",
+                              dst=dst, slot=slot0)
 
     def _send_config(self, dst: int, payload: ConfigPayload,
                      now: int) -> None:
@@ -382,6 +391,9 @@ class ConnectionManager(SimObject):
                                 conn.slot0, conn.duration, conn.conn_id)
         self._send_config(conn.dst, payload, now)
         self.teardowns_sent += 1
+        if self.obs.enabled:
+            self.obs.cs_teardown(now, self._obs_track,
+                                 conn.conn_id, "send")
         self.connections.pop(conn.dst, None)
         if self.ccfg.resilience_enabled:
             conn.state = ConnState.TEARING
@@ -457,6 +469,9 @@ class ConnectionManager(SimObject):
 
     def _on_ack(self, payload: ConfigPayload, cycle: int,
                 success: bool) -> None:
+        if self.obs.enabled:
+            self.obs.cs_ack(cycle, self._obs_track,
+                            payload.conn_id, success)
         conn = self.by_id.get(payload.conn_id)
         if self.size_controller is not None:
             self.size_controller.note_setup_result(success)
@@ -523,6 +538,9 @@ class ConnectionManager(SimObject):
         """The SETUP or its acknowledgement was lost: clear any partial
         path, then retry after a backoff (or give up and demote)."""
         self.setups_timed_out += 1
+        if self.obs.enabled:
+            self.obs.cs_setup(cycle, self._obs_track,
+                              conn.conn_id, "timeout")
         tear = ConfigPayload(ConfigType.TEARDOWN, self.node, conn.dst,
                              conn.slot0, conn.duration, conn.conn_id)
         self._send_config(conn.dst, tear, cycle)
@@ -541,6 +559,9 @@ class ConnectionManager(SimObject):
         """No TEARDOWN_ACK in time: re-walk, or abandon and leave the
         leftovers to the orphan GC."""
         self.teardowns_timed_out += 1
+        if self.obs.enabled:
+            self.obs.cs_teardown(cycle, self._obs_track,
+                                 conn.conn_id, "timeout")
         if conn.retries < self.ccfg.max_setup_retries:
             conn.retries += 1
             conn.deadline = cycle + self._backoff(conn.retries)

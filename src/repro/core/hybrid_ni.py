@@ -99,6 +99,10 @@ class HybridNetworkInterface(NetworkInterface):
         self.ledger.injected += 1
         self.counters.inc("flit_injected")
         plan: CSPlan = token["plan"]
+        if self.obs.enabled:
+            pkt = token["pkt"]
+            self.obs.flit_inject(self._now, self._obs_track, pkt.id,
+                                 flit.index, pkt.dst, True)
         if flit.is_tail and plan.kind == "hitchhike":
             self.manager.note_hitchhike_success(plan.final_dst)
 
@@ -112,6 +116,9 @@ class HybridNetworkInterface(NetworkInterface):
         token["cancelled"] = True
         pkt.circuit = False
         self.counters.inc("cs_fallback")
+        if self.obs.enabled:
+            self.obs.cs_fallback(self._now, self._obs_track,
+                                 pkt.id, plan.kind)
         if plan.kind == "hitchhike":
             self.manager.note_hitchhike_failure(plan.final_dst, self._now)
         # everything not yet transmitted goes packet-switched; flits that

@@ -113,6 +113,9 @@ class HybridRouter(PacketRouter):
                 # through the (fault-aware) packet-switched network, and
                 # the source is notified so it can tear down / demote
                 self.counters.inc("cs_link_fault")
+                if self.obs.enabled:
+                    self.obs.cs_orphan(cycle, self._obs_track,
+                                       flit.packet.id, "link_fault")
                 if flit.is_head and self.on_circuit_fault is not None:
                     self.on_circuit_fault(conn, flit.packet.src, cycle)
                 flit.is_circuit = False
@@ -126,6 +129,9 @@ class HybridRouter(PacketRouter):
         # the NI's hop-off path forwards the packet to its destination
         # through the packet-switched network.
         self.counters.inc("cs_orphan")
+        if self.obs.enabled:
+            self.obs.cs_orphan(cycle, self._obs_track,
+                               flit.packet.id, "orphan")
         flit.is_circuit = False
         flit.packet.circuit = False
         self._cs_traverse(inport, LOCAL, flit, cycle, orphan=True)
@@ -268,8 +274,11 @@ class HybridRouter(PacketRouter):
     def _traverse(self, outport: int, inport: int, invc: int, ovc: int,
                   cycle: int) -> None:
         # count actual steals: a PS traversal in a reserved-but-idle slot
-        if self.slot_state.output_reserved(outport, self.clock.slot(cycle)):
+        slot = self.clock.slot(cycle)
+        if self.slot_state.output_reserved(outport, slot):
             self.counters.inc("slot_steal")
+            if self.obs.enabled:
+                self.obs.slot_steal(cycle, self._obs_track, outport, slot)
         super()._traverse(outport, inport, invc, ovc, cycle)
 
     # ------------------------------------------------------------------
@@ -295,6 +304,9 @@ class HybridRouter(PacketRouter):
             # arithmetic is stale, and any prefix it reserved was wiped
             # by the reset — reject so no unreachable reservation forms
             self.counters.inc("setup_stale")
+            if self.obs.enabled:
+                self.obs.cs_setup(cycle, self._obs_track,
+                                  payload.conn_id, "stale")
             if self.on_setup_rejected is not None:
                 self.on_setup_rejected(payload, cycle)
             return None
@@ -314,6 +326,10 @@ class HybridRouter(PacketRouter):
             if st.can_reserve(inport, outport, slot, dur):
                 st.reserve(inport, outport, slot, dur, payload.conn_id)
                 self.counters.inc("slot_write", dur)
+                if self.obs.enabled:
+                    self.obs.cs_setup(cycle, self._obs_track,
+                                      payload.conn_id, "reserve",
+                                      slot=slot, outport=outport)
                 if self.dlt is not None and inport != LOCAL:
                     # nodes along the path learn the circuit for sharing
                     self.dlt.add(payload.orig_dst, slot, dur, outport,
@@ -326,6 +342,9 @@ class HybridRouter(PacketRouter):
         # no output can host the reservation: reject (Figure 1, setups
         # 2 and 3) and have this node's manager NACK the source
         self.counters.inc("setup_rejected")
+        if self.obs.enabled:
+            self.obs.cs_setup(cycle, self._obs_track,
+                              payload.conn_id, "reject")
         if self.on_setup_rejected is not None:
             self.on_setup_rejected(payload, cycle)
         return None  # consume the setup packet here
@@ -347,11 +366,17 @@ class HybridRouter(PacketRouter):
         if outport is None:
             return None   # reached the point where the setup had failed
         self.counters.inc("slot_write", payload.duration)
+        if self.obs.enabled:
+            self.obs.cs_teardown(cycle, self._obs_track,
+                                 payload.conn_id, "release")
         if self.dlt is not None:
             self.dlt.remove_conn(payload.conn_id)
         if outport == LOCAL:
             # full path torn down; under the resilience protocol this
             # node confirms the walk back to the source
+            if self.obs.enabled:
+                self.obs.cs_teardown(cycle, self._obs_track,
+                                     payload.conn_id, "done")
             if self.on_teardown_done is not None:
                 self.on_teardown_done(payload, cycle)
             return None

@@ -16,6 +16,7 @@ from typing import List
 
 from repro.config import SlotTableConfig
 from repro.core.slot_table import SlotClock
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.kernel import SimObject
 from repro.sim.stats import TimeWeighted
 
@@ -39,6 +40,8 @@ class SlotSizeController(SimObject):
         self.resizes = 0
         #: active entries over time (per input port per router)
         self.entries_integral = TimeWeighted(clock.active, 0)
+        #: trace recorder (observability wiring, never snapshot state)
+        self.obs = NULL_RECORDER
 
     # ------------------------------------------------------------------
     def note_setup_result(self, success: bool) -> None:
@@ -65,6 +68,8 @@ class SlotSizeController(SimObject):
         self.clock.generation += 1
         self.entries_integral.set(new_active, cycle)
         self.resizes += 1
+        if self.obs.enabled:
+            self.obs.resize(cycle, "sim", new_active, self.clock.generation)
         # "Once the capacity of the slot table is increased, all slot
         # tables are reset, and the path setup procedure restarts."
         for r in self.routers:

@@ -44,10 +44,16 @@ class EnergyReport:
         return self.dynamic_total + self.static_total
 
     def dynamic_fraction(self, comp: str) -> float:
+        if comp not in COMPONENTS:
+            raise KeyError(f"unknown energy component {comp!r}; "
+                           f"expected one of {COMPONENTS}")
         t = self.dynamic_total
         return self.dynamic.get(comp, 0.0) / t if t else 0.0
 
     def static_fraction(self, comp: str) -> float:
+        if comp not in COMPONENTS:
+            raise KeyError(f"unknown energy component {comp!r}; "
+                           f"expected one of {COMPONENTS}")
         t = self.static_total
         return self.static.get(comp, 0.0) / t if t else 0.0
 
@@ -57,7 +63,16 @@ class EnergyReport:
                 for c in COMPONENTS]
 
 
-def _inter_router_links(net) -> int:
+def _directed_inter_router_links(net) -> int:
+    """Count of *directed* inter-router channels (one per port, so each
+    physical bidirectional link contributes two).
+
+    This is intentional, not double counting: the builder wires one
+    unidirectional :class:`~repro.network.link.FlitLink` per direction,
+    each with its own wires and drivers, and link leakage is charged per
+    such channel.  A 4x4 mesh has 24 physical links and therefore 48
+    directed channels (pinned by the energy regression tests).
+    """
     mesh = net.mesh
     return sum(1 for node in range(mesh.num_nodes)
                for _ in mesh.ports(node))
@@ -105,7 +120,7 @@ def compute_energy(net, params: EnergyParams | None = None) -> EnergyReport:
     sta["xbar"] = p.leak_xbar_pj * cycles * nr
     sta["arbiter"] = p.leak_arb_pj * cycles * nr
     sta["clock"] = p.leak_clock_pj * cycles * nr
-    sta["link"] = p.leak_link_pj * cycles * _inter_router_links(net)
+    sta["link"] = p.leak_link_pj * cycles * _directed_inter_router_links(net)
 
     if cfg.switching == "tdm":
         ctl = net.size_controller

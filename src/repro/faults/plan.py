@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.kernel import SimObject, Watchdog
 
 
@@ -74,6 +75,8 @@ class FaultInjector(SimObject):
         self.transients_injected = 0
         self.stalls_injected = 0
         self.slots_corrupted = 0
+        #: trace recorder (observability wiring, never snapshot state)
+        self.obs = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # snapshot protocol
@@ -112,6 +115,9 @@ class FaultInjector(SimObject):
             _, node, port = self._pending.pop(0)
             if self.health.fail_bidir(node, port):
                 self.links_failed += 1
+                if self.obs.enabled:
+                    self.obs.fault(cycle, "sim", "link_fail",
+                                   node=node, port=port)
         if fcfg.transient_link_rate > 0 and \
                 float(self.rng.random()) < fcfg.transient_link_rate:
             self._inject_transient(cycle)
@@ -120,7 +126,7 @@ class FaultInjector(SimObject):
             self._inject_stall(cycle)
         if fcfg.slot_corrupt_rate > 0 and \
                 float(self.rng.random()) < fcfg.slot_corrupt_rate:
-            self._corrupt_slot()
+            self._corrupt_slot(cycle)
         if (fcfg.orphan_gc_interval > 0 and cycle > 0
                 and cycle % fcfg.orphan_gc_interval == 0
                 and hasattr(self.net, "collect_orphans")):
@@ -144,6 +150,9 @@ class FaultInjector(SimObject):
         port = ports[int(self.rng.integers(len(ports)))]
         if self.health.fail_bidir(node, port):
             self.transients_injected += 1
+            if self.obs.enabled:
+                self.obs.fault(cycle, "sim", "transient",
+                               node=node, port=port)
             self._restores.append(
                 (cycle + self.fcfg.transient_duration, node, port))
 
@@ -153,8 +162,10 @@ class FaultInjector(SimObject):
         r.stalled_until = max(r.stalled_until,
                               cycle + self.fcfg.router_stall_duration)
         self.stalls_injected += 1
+        if self.obs.enabled:
+            self.obs.fault(cycle, "sim", "stall", node=r.node)
 
-    def _corrupt_slot(self) -> None:
+    def _corrupt_slot(self, cycle: int) -> None:
         routers = self.net.routers
         r = routers[int(self.rng.integers(len(routers)))]
         st = getattr(r, "slot_state", None)
@@ -170,6 +181,9 @@ class FaultInjector(SimObject):
         st.out_owner[outport][slot] = -1
         r.counters.inc("slot_corrupted")
         self.slots_corrupted += 1
+        if self.obs.enabled:
+            self.obs.fault(cycle, "sim", "slot_corrupt",
+                           node=r.node, slot=slot)
 
 
 def attach_faults(net, sim):

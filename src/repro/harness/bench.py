@@ -118,3 +118,32 @@ def write_bench_json(report: Dict, path: str = "BENCH_simperf.json") -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+
+
+def compare_to_baseline(report: Dict, baseline: Dict,
+                        tolerance: float = 0.02) -> List[str]:
+    """Regression guard for the zero-overhead-when-disabled contract.
+
+    Compares each scenario's fast-engine cycles/second against the same
+    scenario in *baseline* (a previously committed ``BENCH_simperf.json``)
+    and returns a list of human-readable failures — empty means every
+    scenario stayed within ``tolerance`` (default 2%) of its baseline.
+
+    Only slowdowns fail; running faster than the baseline is fine.
+    Scenarios absent from the baseline are skipped (a new scenario has
+    nothing to regress against).
+    """
+    base_by_name = {r["scenario"]: r for r in baseline.get("scenarios", ())}
+    failures: List[str] = []
+    for row in report["scenarios"]:
+        base = base_by_name.get(row["scenario"])
+        if base is None:
+            continue
+        floor = base["fast_cps"] * (1.0 - tolerance)
+        if row["fast_cps"] < floor:
+            failures.append(
+                f"{row['scenario']}: fast engine {row['fast_cps']:.1f} "
+                f"cycles/s < {floor:.1f} "
+                f"({100 * tolerance:.0f}% below baseline "
+                f"{base['fast_cps']:.1f})")
+    return failures

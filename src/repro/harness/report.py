@@ -1,13 +1,23 @@
-"""Plain-text and CSV rendering of experiment results."""
+"""Plain-text and CSV rendering of experiment results.
+
+Livelocked or saturated sweep points report NaN latencies (no packet
+ever completed in the window).  Those render as ``n/a`` in tables and
+as an *empty* CSV cell — the convention most spreadsheet/pandas readers
+treat as missing data — instead of the Python literal ``nan`` leaking
+into artefacts.
+"""
 
 from __future__ import annotations
 
 import csv
+import math
 from typing import Iterable, List, Sequence
 
 
 def _fmt(value) -> str:
     if isinstance(value, float):
+        if not math.isfinite(value):
+            return "n/a"
         if value == 0:
             return "0"
         if abs(value) >= 1000:
@@ -16,6 +26,13 @@ def _fmt(value) -> str:
             return f"{value:.1f}"
         return f"{value:.3f}"
     return str(value)
+
+
+def _csv_cell(value):
+    """CSV cell for *value*: non-finite floats become an empty cell."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return ""
+    return value
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -44,4 +61,4 @@ def write_csv(path: str, headers: Sequence[str],
         writer = csv.writer(fh)
         writer.writerow(headers)
         for row in rows:
-            writer.writerow(row)
+            writer.writerow([_csv_cell(c) for c in row])

@@ -99,13 +99,20 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
                   cfg: Optional[NetworkConfig] = None,
                   energy_params: Optional[EnergyParams] = None,
                   checkpoint_dir: Optional[str] = None,
-                  checkpoint_cycles: int = 0) -> SynthRun:
+                  checkpoint_cycles: int = 0,
+                  observability=None) -> SynthRun:
     """One (scheme, pattern, rate) simulation with warmup + measurement.
 
     With ``checkpoint_dir`` set (and ``checkpoint_cycles > 0``), the run
     snapshots its full state every ``checkpoint_cycles`` cycles and, on
     entry, resumes from the latest valid snapshot found there — so a
     crashed or killed run repeats at most one checkpoint interval.
+
+    *observability* is an optional :class:`repro.obs.Observability`
+    bundle: it is attached after construction and finalized (files
+    written) before the function returns, clean run or livelock alike.
+    Attaching never changes results — the recorder draws no RNG and is
+    excluded from snapshots.
     """
     if cfg is None:
         cfg = scheme_config(scheme, width=width, height=height,
@@ -113,6 +120,8 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
     sim, net, _sources = prepare_synthetic(
         scheme, pattern, rate, seed=seed, width=width, height=height,
         slot_table_size=slot_table_size, cfg=cfg)
+    if observability is not None:
+        observability.attach(sim, net)
 
     manager = None
     if checkpoint_dir is not None and checkpoint_cycles > 0:
@@ -148,6 +157,8 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
         # whatever was measured up to the stall (mirrors fault_sweep)
         note = f"livelock@{exc.cycle}"
 
+    if observability is not None:
+        observability.finalize(sim)
     cs = net.cs_flit_fraction() if hasattr(net, "cs_flit_fraction") else 0.0
     wheel = net.clock.active if hasattr(net, "clock") else 0
     return SynthRun(

@@ -43,12 +43,26 @@ def build_sweep_points(schemes: Sequence[str], pattern: str,
                        width: int = 6, height: int = 6,
                        slot_table_size: int = 128,
                        warmup: int = 1500,
-                       measure: int = 4000) -> List[Dict]:
-    """The (scheme x rate) grid as plain-dict point specs."""
-    return [{"scheme": scheme, "pattern": pattern, "rate": float(rate),
-             "seed": seed, "width": width, "height": height,
-             "slot_table_size": slot_table_size,
-             "warmup": warmup, "measure": measure}
+                       measure: int = 4000,
+                       trace: bool = False,
+                       metrics: bool = False,
+                       metrics_interval: int = 100) -> List[Dict]:
+    """The (scheme x rate) grid as plain-dict point specs.
+
+    With ``trace``/``metrics`` set, every point's worker writes a
+    structured trace (JSONL + Chrome format) and/or a metrics
+    time-series dump next to its result file (same ``point-NNNN``
+    stem, ``.trace.jsonl`` / ``.trace.chrome.json`` / ``.metrics.json``
+    suffixes)."""
+    point = {"warmup": warmup, "measure": measure, "seed": seed,
+             "width": width, "height": height,
+             "slot_table_size": slot_table_size}
+    if trace:
+        point["trace"] = True
+    if metrics:
+        point["metrics"] = True
+        point["metrics_interval"] = metrics_interval
+    return [dict(point, scheme=scheme, pattern=pattern, rate=float(rate))
             for scheme in schemes for rate in rates]
 
 
@@ -100,6 +114,23 @@ def _run_to_row(run) -> Dict:
     }
 
 
+def _point_observability(point: Dict, out_path: str):
+    """Observability bundle for one sweep point, or None.
+
+    Output files share the result file's ``point-NNNN`` stem so every
+    dump sits next to the JSON row it belongs to."""
+    if not (point.get("trace") or point.get("metrics")):
+        return None
+    from repro.obs import Observability
+    stem = out_path[:-5] if out_path.endswith(".json") else out_path
+    return Observability(
+        trace_jsonl=stem + ".trace.jsonl" if point.get("trace") else None,
+        trace_chrome=(stem + ".trace.chrome.json"
+                      if point.get("trace") else None),
+        metrics_path=stem + ".metrics.json" if point.get("metrics") else None,
+        sample_interval=point.get("metrics_interval", 100))
+
+
 def _worker_main(point: Dict, out_path: str,
                  ckpt_dir: Optional[str],
                  checkpoint_cycles: int) -> None:
@@ -118,6 +149,7 @@ def _worker_main(point: Dict, out_path: str,
     if fail_mode == "hang":
         time.sleep(3600)
 
+    obs = _point_observability(point, out_path)
     status = STATUS_OK
     try:
         if fail_mode == "livelock":
@@ -129,7 +161,8 @@ def _worker_main(point: Dict, out_path: str,
             seed=point.get("seed", 1),
             width=point.get("width", 6), height=point.get("height", 6),
             slot_table_size=point.get("slot_table_size", 128),
-            checkpoint_dir=ckpt_dir, checkpoint_cycles=checkpoint_cycles)
+            checkpoint_dir=ckpt_dir, checkpoint_cycles=checkpoint_cycles,
+            observability=obs)
         row = _run_to_row(run)
         if run.failed:
             status = STATUS_LIVELOCK
@@ -137,7 +170,13 @@ def _worker_main(point: Dict, out_path: str,
         status = STATUS_LIVELOCK
         row = {"scheme": point["scheme"], "pattern": point["pattern"],
                "offered": point["rate"], "note": f"livelock@{exc.cycle}"}
-    _write_json(out_path, {"status": status, "point": point, "row": row})
+    result = {"status": status, "point": point, "row": row}
+    if obs is not None:
+        result["obs"] = {k: v for k, v in (
+            ("trace_jsonl", obs.trace_jsonl),
+            ("trace_chrome", obs.trace_chrome),
+            ("metrics", obs.metrics_path)) if v}
+    _write_json(out_path, result)
 
 
 # ---------------------------------------------------------------------------
@@ -265,7 +304,10 @@ def load_results(run_dir: str) -> List[Dict]:
     if not os.path.isdir(pdir):
         return out
     for name in sorted(os.listdir(pdir)):
-        if name.startswith("point-") and name.endswith(".json"):
+        # exactly point-NNNN.json — metric/trace dumps share the stem
+        # (point-NNNN.metrics.json etc.) and are not result rows
+        if (name.startswith("point-") and name.endswith(".json")
+                and name[len("point-"):-len(".json")].isdigit()):
             data = _read_json(os.path.join(pdir, name))
             if data is not None:
                 out.append(data)

@@ -23,6 +23,7 @@ from repro.config import NetworkConfig
 from repro.network.flit import Flit, Message, MessageClass, Packet
 from repro.network.link import CreditLink, FlitLink
 from repro.network.topology import LOCAL
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.kernel import SimObject
 from repro.sim.stats import ConservationLedger, Counter
 
@@ -112,6 +113,10 @@ class NetworkInterface(SimObject):
         self.config_drops = 0   #: CONFIG messages lost to injected faults
         #: transient: precomputed injection VC orders (built lazily)
         self._vc_orders = None
+        #: trace recorder; NULL_RECORDER keeps every guarded emission
+        #: site a single falsy attribute check (never snapshot state)
+        self.obs = NULL_RECORDER
+        self._obs_track = f"ni-{node}"
 
     # ------------------------------------------------------------------
     # message API
@@ -222,7 +227,11 @@ class NetworkInterface(SimObject):
         self.counters.inc("cs_flit_ejected" if flit.is_circuit
                           else "ps_flit_ejected")
         pkt.flits_received += 1
-        if pkt.flits_received < pkt.size:
+        done = pkt.flits_received >= pkt.size
+        if self.obs.enabled:
+            self.obs.flit_eject(cycle, self._obs_track, pkt.id,
+                                flit.index, flit.is_circuit, done)
+        if not done:
             return
         pkt.eject_cycle = cycle
         if self.on_packet_ejected is not None:
@@ -290,6 +299,10 @@ class NetworkInterface(SimObject):
             self.inject_link.send(flit, cycle)
             self.ledger.injected += 1
             self.counters.inc("flit_injected")
+            if self.obs.enabled:
+                pkt = flit.packet
+                self.obs.flit_inject(cycle, self._obs_track, pkt.id,
+                                     flit.index, pkt.dst, False)
             if not stream:
                 vc_in_use[vc] = None
             break

@@ -35,6 +35,7 @@ from repro.network.link import CreditLink, FlitLink
 from repro.network.routing import (MISROUTE_LIMIT, fault_aware_outports,
                                    oe_candidate_outports, xy_outport)
 from repro.network.topology import LOCAL, Mesh, NUM_PORTS
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.kernel import SimObject
 from repro.sim.stats import ConservationLedger, Counter, TimeWeighted
 
@@ -95,6 +96,10 @@ class PacketRouter(SimObject):
         self._buffered_flits = 0         # fast-path guard: skip VA/SA
         #                                  loops when nothing is buffered
         self.rng = None  # set by builder (shared simulator generator)
+        #: trace recorder; NULL_RECORDER keeps every guarded emission
+        #: site a single falsy attribute check (never snapshot state)
+        self.obs = NULL_RECORDER
+        self._obs_track = f"router-{node}"
 
         # resilience/fault-injection state --------------------------------
         #: shared flit-conservation ledger (the network builder replaces
@@ -257,6 +262,9 @@ class PacketRouter(SimObject):
                             self.ledger.consumed += 1
                         continue
                     vcobj.route_outport = out
+                    if self.obs.enabled:
+                        self.obs.flit_route(cycle, self._obs_track,
+                                            head.packet.id, out)
                 ovc = self._allocate_out_vc(
                     vcobj.route_outport, invc == self.in_ports[inport].config_vc_index
                 )

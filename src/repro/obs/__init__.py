@@ -1,0 +1,33 @@
+"""Observability: structured tracing and sampled metrics (S13).
+
+``repro.obs.trace`` is import-light (no simulator dependencies) so the
+kernel and the component models can pull :data:`NULL_RECORDER` without a
+cycle; the metrics and attach layers import the kernel and are loaded
+lazily through this package's ``__getattr__``.
+"""
+
+from repro.obs.trace import (
+    EVENT_SCHEMA,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    iter_events,
+    validate_event,
+    validate_jsonl,
+)
+
+__all__ = [
+    "EVENT_SCHEMA", "NULL_RECORDER", "NullRecorder", "TraceRecorder",
+    "iter_events", "validate_event", "validate_jsonl",
+    "MetricsRegistry", "MetricsSampler", "Observability",
+]
+
+
+def __getattr__(name):
+    if name in ("MetricsRegistry", "MetricsSampler"):
+        from repro.obs import metrics
+        return getattr(metrics, name)
+    if name == "Observability":
+        from repro.obs.attach import Observability
+        return Observability
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

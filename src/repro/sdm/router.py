@@ -132,6 +132,9 @@ class SDMRouter(PacketRouter):
         if outport < 0:
             # reservation vanished (teardown race): eject for hop-off
             self.counters.inc("cs_orphan")
+            if self.obs.enabled:
+                self.obs.cs_orphan(cycle, self._obs_track,
+                                   flit.packet.id, "orphan")
             flit.is_circuit = False
             flit.packet.circuit = False
             self._cs_traverse(inport, LOCAL, plane, flit, cycle, orphan=True)
@@ -352,7 +355,7 @@ class SDMRouter(PacketRouter):
         if payload.ctype == ConfigType.SETUP:
             return self._process_setup(inport, pkt, payload, cycle)
         if payload.ctype == ConfigType.TEARDOWN:
-            return self._process_teardown(inport, payload)
+            return self._process_teardown(inport, payload, cycle)
         return self._route_adaptive(pkt)
 
     def _process_setup(self, inport: int, pkt, payload,
@@ -369,13 +372,21 @@ class SDMRouter(PacketRouter):
             self.cs_route[inport][plane] = outport
             self.plane_owner[outport][plane] = payload.conn_id
             self.counters.inc("plane_reserved")
+            if self.obs.enabled:
+                self.obs.cs_setup(cycle, self._obs_track,
+                                  payload.conn_id, "reserve",
+                                  plane=plane, outport=outport)
             return LOCAL if outport == LOCAL else outport
         self.counters.inc("setup_rejected")
+        if self.obs.enabled:
+            self.obs.cs_setup(cycle, self._obs_track,
+                              payload.conn_id, "reject")
         if self.on_setup_rejected is not None:
             self.on_setup_rejected(payload, cycle)
         return None
 
-    def _process_teardown(self, inport: int, payload) -> Optional[int]:
+    def _process_teardown(self, inport: int, payload,
+                          cycle: int) -> Optional[int]:
         plane = payload.slot_id
         outport = self.cs_route[inport][plane]
         if outport < 0:
@@ -384,6 +395,9 @@ class SDMRouter(PacketRouter):
             return None
         self.cs_route[inport][plane] = -1
         self.plane_owner[outport][plane] = -1
+        if self.obs.enabled:
+            self.obs.cs_teardown(cycle, self._obs_track,
+                                 payload.conn_id, "release")
         if outport == LOCAL:
             return None
         return outport

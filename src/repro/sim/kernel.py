@@ -49,6 +49,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.trace import NULL_RECORDER
+
 #: Canonical phase names in execution order.
 PHASES = ("deliver", "transfer", "inject", "control")
 
@@ -167,6 +169,8 @@ class Watchdog(SimObject):
         self.checks = 0
         self.audit_violations = 0
         self.last_violation: Optional[Dict] = None
+        #: trace recorder (observability wiring, never snapshot state)
+        self.obs = NULL_RECORDER
 
     def control(self, cycle: int) -> None:
         if cycle == 0 or cycle % self.interval:
@@ -177,14 +181,20 @@ class Watchdog(SimObject):
             if report is not None:
                 self.audit_violations += 1
                 self.last_violation = dict(report, cycle=cycle)
+                if self.obs.enabled:
+                    self.obs.audit_violation(
+                        cycle, "sim",
+                        int(report.get("imbalance", 0)))
         progress = self.progress_fn()
         in_flight = self.in_flight_fn()
         if in_flight > 0 and progress == self._last_progress:
             self._stalled_checks += 1
             if self._stalled_checks >= self.patience:
+                stalled = self._stalled_checks * self.interval
+                if self.obs.enabled:
+                    self.obs.livelock(cycle, "sim", in_flight, stalled)
                 raise LivelockError(
-                    cycle, in_flight,
-                    self._stalled_checks * self.interval,
+                    cycle, in_flight, stalled,
                     diagnosis={"progress": progress,
                                "audit_violations": self.audit_violations})
         else:
@@ -222,6 +232,10 @@ class Simulator:
         self.cycle: int = 0
         self.rng: np.random.Generator = np.random.default_rng(seed)
         self.engine = engine
+        #: trace recorder shared by instrumented components; replaced by
+        #: :meth:`repro.obs.attach.Observability.attach` on traced runs.
+        #: Never part of :meth:`state_dict` (hashes must not see it).
+        self.obs = NULL_RECORDER
         self._phase_lists: dict[str, List[SimObject]] = {p: [] for p in PHASES}
         self._objects: List[SimObject] = []
         self._end_hooks: List[Callable[[int], None]] = []

@@ -53,6 +53,13 @@ class TestEnergyReport:
         assert energy_saving(a, b) == pytest.approx(0.2)
         assert energy_saving(EnergyReport(), b) == 0.0
 
+    def test_unknown_component_fraction_raises(self):
+        r = EnergyReport(dynamic={"buffer": 1.0}, static={"clock": 1.0})
+        with pytest.raises(KeyError, match="unknown energy component"):
+            r.dynamic_fraction("bufer")  # typo must not read as 0.0
+        with pytest.raises(KeyError, match="unknown energy component"):
+            r.static_fraction("links")
+
 
 class TestComputeEnergy:
     def test_idle_network_has_static_and_clock_only(self):
@@ -110,6 +117,25 @@ class TestComputeEnergy:
             s.run(2500)
         ea, eb = compute_energy(neta), compute_energy(netb)
         assert eb.static["buffer"] < ea.static["buffer"]
+
+    def test_link_leakage_counts_directed_channels(self):
+        """A 4x4 mesh has 24 physical links wired as 48 directed
+        channels (one FlitLink per direction) — link leakage is charged
+        per directed channel, and the golden energy figures depend on
+        that count staying exactly 48."""
+        from repro.energy.model import _directed_inter_router_links
+        _, net = build("packet_vc4", width=4, height=4)
+        assert _directed_inter_router_links(net) == 48
+        # links = 48 inter-router FlitLinks + 2 local (inj/ej) per node
+        assert len(net.links) == 48 + 2 * 16
+        sim = net.sim
+        sim.run(100)
+        net.reset_stats()
+        sim.run(200)
+        e = compute_energy(net)
+        p = EnergyParams()
+        assert e.static["link"] == pytest.approx(
+            p.leak_link_pj * net.measured_cycles * 48)
 
     def test_sdm_narrow_width_scaling(self):
         """SDM buffer events act on quarter-width flits."""

@@ -114,6 +114,25 @@ class TestReport:
         assert content[0] == "x,y"
         assert content[1:] == ["1,2", "3,4"]
 
+    def test_nan_renders_as_na_in_tables(self):
+        nan, inf = float("nan"), float("inf")
+        text = format_table(("lat",), [(nan,), (inf,), (1.5,)])
+        cells = [line.strip() for line in text.splitlines()[2:]]
+        assert cells == ["n/a", "n/a", "1.500"]
+        assert "nan" not in text and "inf" not in text
+
+    def test_nan_csv_round_trip(self, tmp_path):
+        """Livelocked points write an *empty* cell, never 'nan', and the
+        emptiness survives a csv read-back."""
+        import csv
+
+        path = str(tmp_path / "out.csv")
+        write_csv(path, ("rate", "lat"),
+                  [(0.1, 12.5), (0.9, float("nan"))])
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["rate", "lat"], ["0.1", "12.5"], ["0.9", ""]]
+
 
 class TestExperiments:
     """Each experiment entry point must run end to end (tiny sizes)."""

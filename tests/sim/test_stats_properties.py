@@ -1,0 +1,82 @@
+"""Property tests for the accounting-critical statistics primitives.
+
+These pin the invariants the tracing/metrics subsystem relies on:
+every histogram insert lands in exactly one bucket (or overflow), and
+the Welford running mean agrees with the :mod:`statistics` reference
+implementation to within 1e-9 — including the n=0 and n=1 edge cases.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Histogram, RunningMean
+
+
+class TestHistogramConservation:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    max_size=200),
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=64))
+    def test_every_insert_is_counted_exactly_once(self, xs, width, nb):
+        h = Histogram(bucket_width=width, num_buckets=nb)
+        for x in xs:
+            h.add(x)
+        assert sum(h.as_list()) + h.overflow == h.n == len(xs)
+
+    @given(st.floats(min_value=0.0, max_value=1e6,
+                     allow_nan=False, allow_infinity=False),
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=64))
+    def test_bucket_index_matches_definition(self, x, width, nb):
+        h = Histogram(bucket_width=width, num_buckets=nb)
+        h.add(x)
+        idx = int(x // width)
+        if idx < nb:
+            assert h.as_list()[idx] == 1
+            assert h.overflow == 0
+        else:
+            assert sum(h.as_list()) == 0
+            assert h.overflow == 1
+
+
+class TestRunningMeanMatchesStatistics:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=100))
+    def test_mean_matches_fmean(self, xs):
+        rm = RunningMean()
+        for x in xs:
+            rm.add(x)
+        assert rm.n == len(xs)
+        assert abs(rm.mean - statistics.fmean(xs)) <= 1e-9 * max(
+            1.0, abs(statistics.fmean(xs)))
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=2, max_size=100))
+    def test_variance_matches_sample_variance(self, xs):
+        rm = RunningMean()
+        for x in xs:
+            rm.add(x)
+        ref = statistics.variance(xs)
+        assert abs(rm.variance - ref) <= 1e-9 * max(1.0, abs(ref))
+
+    def test_empty_edge_case(self):
+        rm = RunningMean()
+        assert rm.n == 0
+        assert math.isnan(rm.mean)
+        assert rm.variance == 0.0
+
+    def test_single_sample_edge_case(self):
+        rm = RunningMean()
+        rm.add(42.0)
+        assert rm.n == 1
+        assert rm.mean == 42.0
+        # one sample has no spread; sample variance is defined as 0 here
+        assert rm.variance == 0.0
+        assert rm.stddev == 0.0

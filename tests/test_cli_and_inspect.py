@@ -121,3 +121,59 @@ class TestCLI:
         rc = main(["resume", run_dir])
         assert rc == 0
         assert "(1 already done)" in capsys.readouterr().out
+
+    def test_run_command_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        rc = main(["run", "packet_vc4", "--pattern", "neighbor",
+                   "--rate", "0.1", "--width", "4", "--height", "4",
+                   "--warmup", "200", "--measure", "400"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Run: packet_vc4" in out
+        assert "trace:" not in out  # no obs flags -> no obs summary
+
+    def test_run_command_with_metrics(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        metrics = str(tmp_path / "m.json")
+        rc = main(["run", "packet_vc4", "--pattern", "neighbor",
+                   "--rate", "0.1", "--width", "4", "--height", "4",
+                   "--warmup", "200", "--measure", "400",
+                   "--metrics", metrics, "--metrics-interval", "50"])
+        assert rc == 0
+        assert f"wrote {metrics}" in capsys.readouterr().out
+        doc = json.load(open(metrics))
+        assert doc["interval"] == 50
+        assert doc["samples"]
+
+    def test_trace_command_writes_valid_artifacts(self, tmp_path, capsys,
+                                                  monkeypatch):
+        import json
+
+        from repro.obs import validate_jsonl
+
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        prefix = str(tmp_path / "tr")
+        rc = main(["trace", "hybrid_tdm_vc4", "--out", prefix])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert f"wrote {prefix}.jsonl" in out
+        assert validate_jsonl(f"{prefix}.jsonl") > 0
+        doc = json.load(open(f"{prefix}.chrome.json"))
+        assert doc["traceEvents"]
+
+    def test_sweep_with_metrics_dumps_per_point(self, tmp_path, capsys,
+                                                monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        out_dir = str(tmp_path / "obs")
+        rc = main(["sweep", "neighbor", "--rates", "0.1",
+                   "--schemes", "packet_vc4", "--metrics",
+                   "--run-dir", out_dir])
+        assert rc == 0
+        metrics = tmp_path / "obs" / "packet_vc4-neighbor-0.1.metrics.json"
+        assert metrics.exists()
+        assert json.load(open(metrics))["samples"]

@@ -23,7 +23,9 @@ Commands
               activity-tracked fast engine from the same seed and
               require identical state hashes at every checkpoint
 ``bench``     time the legacy vs fast engine on idle and loaded-epoch
-              scenarios; writes ``BENCH_simperf.json``
+              scenarios plus a parallel supervised sweep; writes
+              ``BENCH_simperf.json``
+``profile``   cProfile one loaded epoch and print the hottest frames
 ``resume``    pick up a killed supervised sweep (``sweep --supervised``)
               where it left off
 
@@ -209,7 +211,7 @@ def _supervised_sweep(args, schemes, rates) -> int:
         print("--supervised requires --run-dir", file=sys.stderr)
         return 2
     sup = SupervisorConfig(enabled=True, timeout_s=args.timeout,
-                           max_retries=args.retries)
+                           max_retries=args.retries, jobs=args.jobs)
     ckpt = CheckpointConfig(enabled=args.checkpoint_cycles > 0,
                             interval_cycles=args.checkpoint_cycles)
     points = build_sweep_points(schemes, args.pattern, rates,
@@ -230,7 +232,7 @@ def _supervised_sweep(args, schemes, rates) -> int:
 
 def cmd_resume(args) -> int:
     from repro.harness.supervisor import resume_sweep
-    summary = resume_sweep(args.run_dir)
+    summary = resume_sweep(args.run_dir, jobs=args.jobs)
     _print_sweep_summary(summary)
     return 0 if not summary["failures"] else 1
 
@@ -280,6 +282,7 @@ def cmd_bench(args) -> int:
     import json as json_mod
 
     from repro.harness.bench import (compare_to_baseline, run_bench,
+                                     time_supervised_sweep,
                                      write_bench_json)
 
     report = run_bench(repeats=args.repeats, seed=args.seed)
@@ -289,12 +292,21 @@ def cmd_bench(args) -> int:
     print(format_table(
         ("scenario", "legacy_cps", "fast_cps", "ratio", "target", "ok"),
         rows, title=f"Engine throughput (best of {args.repeats})"))
+    if not args.no_sweep:
+        sweep_fig = time_supervised_sweep(jobs=args.jobs, seed=args.seed)
+        report["sweep"] = sweep_fig
+        print(f"\nsupervised sweep: {sweep_fig['points']} points, "
+              f"{sweep_fig['jobs']} job(s): "
+              f"{sweep_fig['sweep_wall_seconds']}s wall")
     write_bench_json(report, args.json)
     print(f"\nwrote {args.json}")
     ok = report["ok"]
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json_mod.load(fh)
+        # >= 1 reads as percent (compare_to_baseline does the same)
+        tol = args.tolerance / 100.0 if args.tolerance >= 1.0 \
+            else args.tolerance
         failures = compare_to_baseline(report, baseline,
                                        tolerance=args.tolerance)
         if failures:
@@ -304,8 +316,24 @@ def cmd_bench(args) -> int:
                 print(f"  {failure}")
         else:
             print(f"\nno regression vs {args.baseline} "
-                  f"(tolerance {100 * args.tolerance:.0f}%)")
+                  f"(tolerance {100 * tol:.0f}%)")
     return 0 if ok else 1
+
+
+def cmd_profile(args) -> int:
+    from repro.harness.profiling import profile_epoch
+
+    stop = None if args.stop_cycle < 0 else args.stop_cycle
+    report = profile_epoch(
+        scheme=args.scheme, pattern=args.pattern, rate=args.rate,
+        cycles=args.cycles, stop_cycle=stop,
+        engine=args.engine, seed=args.seed,
+        width=args.width, height=args.height,
+        sort=args.sort, limit=args.limit, out=args.out)
+    print(report, end="")
+    if args.out:
+        print(f"wrote {args.out} (pstats dump)")
+    return 0
 
 
 def cmd_energy(args) -> int:
@@ -460,6 +488,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-point wall-clock timeout in seconds")
     p.add_argument("--retries", type=int, default=2,
                    help="retries for crashed/timed-out points")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="concurrent supervised points (0 = one per CPU)")
     p.add_argument("--checkpoint-cycles", type=int, default=0,
                    help="snapshot each point's state every N cycles")
     p.add_argument("--trace", action="store_true",
@@ -476,6 +506,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("resume",
                        help="resume a killed supervised sweep")
     p.add_argument("run_dir", help="run directory from sweep --supervised")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="override the concurrency recorded in sweep.json")
     p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser("verify-replay",
@@ -523,9 +555,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="committed BENCH_simperf.json to regress "
                         "fast-engine throughput against")
     p.add_argument("--tolerance", type=float, default=0.02,
-                   help="allowed fractional slowdown vs the baseline")
+                   help="allowed slowdown vs the baseline; values >= 1 "
+                        "are read as a percentage (10 means 10%%)")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="concurrency for the timed supervised sweep "
+                        "(0 = one per CPU)")
+    p.add_argument("--no-sweep", action="store_true",
+                   help="skip the supervised-sweep wall-clock figure")
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("profile",
+                       help="cProfile one loaded epoch (hot-loop report)")
+    p.add_argument("scheme", nargs="?", default="hybrid_tdm_vc4",
+                   choices=list(SCHEMES))
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument("--cycles", type=int, default=2500)
+    p.add_argument("--stop-cycle", type=int, default=500,
+                   help="stop traffic here so the drain/sleep path "
+                        "shows up; pass -1 to never stop")
+    p.add_argument("--engine", default="fast",
+                   choices=("legacy", "fast"))
+    p.add_argument("--width", type=int, default=4)
+    p.add_argument("--height", type=int, default=4)
+    p.add_argument("--sort", default="cumulative",
+                   help="pstats sort key (cumulative, tottime, calls...)")
+    p.add_argument("--limit", type=int, default=25,
+                   help="number of frames to print")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also dump raw pstats data to PATH")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("energy", help="energy comparison (Figure 5 style)")
     p.add_argument("pattern", nargs="?", default="tornado")

@@ -274,12 +274,15 @@ class SupervisorConfig:
     backoff_s: float = 1.0        #: first retry delay
     backoff_factor: float = 2.0   #: exponential growth per retry
     backoff_cap_s: float = 30.0   #: delay ceiling
+    jobs: int = 0                 #: concurrent points; 0 = os.cpu_count()
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
             raise ValueError("timeout_s must be > 0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = one per CPU)")
         if self.backoff_s < 0 or self.backoff_cap_s < 0:
             raise ValueError("backoff delays must be >= 0")
         if self.backoff_factor < 1.0:
@@ -302,6 +305,10 @@ class NetworkConfig:
     supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
     #: 'packet', 'tdm' or 'sdm'
     switching: str = "tdm"
+    #: recycle dead flits through a free-list pool instead of allocating
+    #: fresh objects (see :func:`repro.network.flit.enable_flit_pool`);
+    #: behaviour-identical, off by default
+    flit_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:

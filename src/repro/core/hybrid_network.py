@@ -67,7 +67,7 @@ class HybridNetwork(Network):
         # clock first: slot arithmetic during any later wiring fix-ups
         # must already see the restored wheel size.  The SlotClock object
         # is shared by every router/manager, so mutate it in place.
-        self.clock.active = state["clock"]["active"]
+        self.clock.set_active(state["clock"]["active"])
         self.clock.generation = state["clock"]["generation"]
         super().load_state_dict(state)
         for m, sub in zip(self.managers, state["managers"], strict=True):

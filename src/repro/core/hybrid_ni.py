@@ -30,7 +30,6 @@ class HybridNetworkInterface(NetworkInterface):
     def __init__(self, node: int, cfg: NetworkConfig) -> None:
         super().__init__(node, cfg)
         self.manager: Optional[ConnectionManager] = None
-        self._last_inject = 0       #: cycle of the last executed inject
         self._cs_outstanding = 0    #: scheduled CS flits not yet resolved
 
     @property
@@ -48,10 +47,6 @@ class HybridNetworkInterface(NetworkInterface):
         return last
 
     # ------------------------------------------------------------------
-    def inject(self, cycle: int) -> None:
-        self._last_inject = cycle
-        super().inject(cycle)
-
     def sim_idle(self, cycle: int) -> bool:
         """Sleep only with no circuit flits scheduled at the router: the
         on-ok/on-fail callbacks fire during the *router's* transfer phase

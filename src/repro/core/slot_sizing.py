@@ -64,7 +64,7 @@ class SlotSizeController(SimObject):
         new_active = min(self.cfg.size, self.clock.active * 2)
         if new_active == self.clock.active:
             return
-        self.clock.active = new_active
+        self.clock.set_active(new_active)
         self.clock.generation += 1
         self.entries_integral.set(new_active, cycle)
         self.resizes += 1

@@ -25,21 +25,50 @@ from repro.network.topology import NUM_PORTS
 
 
 class SlotClock:
-    """Global TDM wheel: maps cycles to slot indices over active entries."""
+    """Global TDM wheel: maps cycles to slot indices over active entries.
 
-    __slots__ = ("max_size", "active", "generation")
+    The per-hop slot advance (+2 mod the active size, one ST cycle plus
+    one link cycle — see :mod:`repro.network.link`) is a static function
+    of the wheel size, so it is precomputed as a lookup table
+    (:attr:`advance2`).  Any write to :attr:`active` — :meth:`set_active`,
+    a snapshot restore or a test poking the attribute directly — rebuilds
+    the table via :meth:`__setattr__`, so it can never go stale.  The
+    hook costs nothing on the hot path: the wheel is *read* every cycle
+    but *written* only on dynamic resize and restore.
+    """
+
+    __slots__ = ("max_size", "active", "generation", "advance2")
 
     def __init__(self, max_size: int, active: Optional[int] = None) -> None:
         if max_size < 2:
             raise ValueError("slot table size must be >= 2")
         self.max_size = max_size
-        self.active = max_size if active is None else active
-        if not (2 <= self.active <= max_size):
+        active = max_size if active is None else active
+        if not (2 <= active <= max_size):
             raise ValueError("active size out of range")
+        #: per-hop slot advance map ``advance2[s] == (s + 2) % active``,
+        #: rebuilt by ``__setattr__`` on this assignment and every later
+        #: resize
+        self.active = active
         #: bumped on every dynamic resize; configuration messages are
         #: stamped with it so a setup/teardown crossing a table reset can
         #: never leave reservations the teardown walk cannot reach
         self.generation = 0
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name == "active":
+            object.__setattr__(
+                self, "advance2",
+                [(s + 2) % value for s in range(value)])
+
+    def set_active(self, active: int) -> None:
+        """Change the active wheel size (the advance map rebuilds
+        automatically).  Generation bumping stays with the caller: a
+        dynamic resize bumps it, a snapshot restore must not."""
+        if not (2 <= active <= self.max_size):
+            raise ValueError("active size out of range")
+        self.active = active
 
     def slot(self, cycle: int) -> int:
         return cycle % self.active

@@ -13,8 +13,10 @@ scheduler and the activity-tracked ``fast`` scheduler (see
 
 ``loaded_epoch``
     A burst of uniform-random traffic that stops mid-run, followed by a
-    drain and a quiescent tail — the activity profile of one
-    application epoch.  The two engines do the same per-cycle work
+    drain and a long quiescent tail — the activity profile of one
+    application epoch.  The 500-active/6000-total shape averages ~1.7%
+    injection duty, mid-band for the paper's Table III workloads
+    (0.5–8% of peak).  The two engines do the same per-cycle work
     while traffic flows, so the speedup here comes from the tail and
     from the hot-path tightening shared by both engines.
 
@@ -30,6 +32,7 @@ the standard estimator for "true" speed under one-sided noise.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -53,12 +56,12 @@ class BenchScenario:
 
 
 #: Default scenario set; targets match the acceptance criteria
-#: (>= 3x idle, >= 1.3x loaded epoch).
+#: (>= 3x idle, >= 2x loaded epoch).
 SCENARIOS: List[BenchScenario] = [
     BenchScenario(name="idle", rate=0.0, cycles=4000,
                   width=6, height=6, target_ratio=3.0),
     BenchScenario(name="loaded_epoch", rate=0.2, stop_cycle=500,
-                  cycles=2500, target_ratio=1.3),
+                  cycles=6000, target_ratio=2.0),
 ]
 
 
@@ -114,6 +117,43 @@ def run_bench(repeats: int = 5, seed: int = 1,
     }
 
 
+def time_supervised_sweep(jobs: int = 0, seed: int = 1,
+                          n_points: int = 8) -> Dict:
+    """Wall-clock one small supervised sweep; returns a report figure.
+
+    The grid is fixed (``n_points`` rates of one scheme on a 3x3 mesh)
+    so the ``sweep_wall_seconds`` figure in ``BENCH_simperf.json`` is
+    comparable across commits on the same machine.  The run directory
+    is a temp dir — this benchmarks dispatch, not the results.
+    """
+    import shutil
+    import tempfile
+
+    from repro.config import SupervisorConfig
+    from repro.harness.supervisor import (build_sweep_points,
+                                          run_supervised_sweep)
+
+    points = build_sweep_points(
+        ["hybrid_tdm_vc4"], "uniform_random",
+        [round(0.04 * (i + 1), 2) for i in range(n_points)],
+        seed=seed, width=3, height=3, slot_table_size=32,
+        warmup=200, measure=400)
+    run_dir = tempfile.mkdtemp(prefix="bench-sweep-")
+    try:
+        t0 = time.perf_counter()
+        summary = run_supervised_sweep(
+            points, run_dir, SupervisorConfig(enabled=True, jobs=jobs))
+        wall = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(run_dir, ignore_errors=True)
+    return {
+        "points": len(points),
+        "jobs": jobs or (os.cpu_count() or 1),
+        "completed": summary["completed"],
+        "sweep_wall_seconds": round(wall, 3),
+    }
+
+
 def write_bench_json(report: Dict, path: str = "BENCH_simperf.json") -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -132,7 +172,13 @@ def compare_to_baseline(report: Dict, baseline: Dict,
     Only slowdowns fail; running faster than the baseline is fine.
     Scenarios absent from the baseline are skipped (a new scenario has
     nothing to regress against).
+
+    A *tolerance* of 1 or more is read as a percentage — ``10`` and
+    ``0.10`` both mean "allow a 10% slowdown" — so either spelling
+    works on the ``--tolerance`` command line flag.
     """
+    if tolerance >= 1.0:
+        tolerance = tolerance / 100.0
     base_by_name = {r["scenario"]: r for r in baseline.get("scenarios", ())}
     failures: List[str] = []
     for row in report["scenarios"]:

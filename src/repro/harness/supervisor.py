@@ -3,7 +3,8 @@
 Long sweeps (Fig. 4/5-style grids at ``REPRO_SCALE=4``) die today if a
 single point crashes, OOMs or trips the livelock watchdog.  The
 supervisor runs every sweep point in its own subprocess with a
-wall-clock timeout:
+wall-clock timeout, dispatching up to ``SupervisorConfig.jobs`` points
+concurrently (default: one per CPU):
 
 * a point that completes writes its result as an atomic JSON file;
 * a point that **livelocks** is permanent: the partial result is kept,
@@ -24,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
 from typing import Dict, List, Optional, Sequence
@@ -202,10 +204,18 @@ def run_supervised_sweep(points: Sequence[Dict], run_dir: str,
                          progress=None) -> Dict:
     """Run every point under supervision; returns the sweep summary.
 
+    Up to ``sup.jobs`` points run concurrently (0 means one per CPU);
+    retry, timeout and backoff semantics are per point and identical to
+    a serial run — a point waiting out its retry backoff does not hold
+    up any other point.  Results live in per-index files, so the sweep
+    summary and the manifest are ordered by point index regardless of
+    the order in which workers finish.
+
     Already-completed points (valid result file present in *run_dir*)
     are skipped, so calling this again on the same directory resumes a
-    killed sweep.  The failure manifest (``manifest.json``) is rewritten
-    atomically after every point, so it is always consistent on disk.
+    killed sweep — including one killed mid-way through a parallel run.
+    The failure manifest (``manifest.json``) is rewritten atomically
+    after every point finalisation, so it is always consistent on disk.
     """
     sup = sup or SupervisorConfig(enabled=True)
     ckpt = ckpt or CheckpointConfig()
@@ -220,79 +230,123 @@ def run_supervised_sweep(points: Sequence[Dict], run_dir: str,
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         ctx = multiprocessing.get_context("spawn")
+    jobs = sup.jobs if sup.jobs > 0 else (os.cpu_count() or 1)
 
     failures: List[Dict] = []
     completed = 0
     skipped = 0
-    for index, point in enumerate(points):
-        out_path = _result_path(run_dir, index)
-        if _read_json(out_path) is not None:
+    pending: List[int] = []          # fresh points, index order
+    for index in range(len(points)):
+        if _read_json(_result_path(run_dir, index)) is not None:
             skipped += 1
             completed += 1
-            continue
-        ckpt_dir = _ckpt_dir(run_dir, index) if ckpt.enabled else None
-        checkpoint_cycles = ckpt.interval_cycles if ckpt.enabled else 0
+        else:
+            pending.append(index)
+    pending.reverse()                # pop() from the tail = lowest index
+    active: Dict[int, Dict] = {}     # index -> {proc, deadline, attempts}
+    waiting: List[Dict] = []         # backoff queue: {resume, index, attempts}
 
-        outcome = None
-        attempts = 0
-        while True:
-            attempts += 1
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(dict(point), out_path, ckpt_dir, checkpoint_cycles))
-            proc.start()
-            proc.join(sup.timeout_s)
-            timed_out = proc.is_alive()
-            if timed_out:
+    def _launch(index: int, attempts: int) -> None:
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(dict(points[index]), _result_path(run_dir, index),
+                  _ckpt_dir(run_dir, index) if ckpt.enabled else None,
+                  ckpt.interval_cycles if ckpt.enabled else 0))
+        proc.start()
+        active[index] = {"proc": proc, "attempts": attempts,
+                         "deadline": time.monotonic() + sup.timeout_s}
+
+    def _write_manifest() -> None:
+        _write_json(os.path.join(run_dir, "manifest.json"), {
+            "total_points": len(points),
+            "completed": completed,
+            "failures": sorted(failures, key=lambda f: f["index"]),
+        })
+
+    while pending or waiting or active:
+        now = time.monotonic()
+        # backoff-expired retries launch before fresh points: a point
+        # already attempted should not starve behind the rest of the grid
+        waiting.sort(key=lambda w: (w["resume"], w["index"]))
+        while waiting and len(active) < jobs and waiting[0]["resume"] <= now:
+            entry = waiting.pop(0)
+            _launch(entry["index"], entry["attempts"] + 1)
+        while pending and len(active) < jobs:
+            _launch(pending.pop(), 1)
+
+        for index in sorted(active):
+            entry = active[index]
+            proc = entry["proc"]
+            timed_out = False
+            if proc.is_alive():
+                if now < entry["deadline"]:
+                    continue
+                timed_out = True
                 proc.terminate()
                 proc.join(5.0)
                 if proc.is_alive():  # pragma: no cover - stuck in syscall
                     proc.kill()
                     proc.join()
-            result = _read_json(out_path)
+            else:
+                proc.join()
+            del active[index]
+            result = _read_json(_result_path(run_dir, index))
             outcome = _classify(timed_out, result)
-            if outcome in ("ok", "livelock"):
-                break
-            # transient failure: retry with capped backoff
-            if attempts > sup.max_retries:
-                break
-            time.sleep(_backoff_delay(sup, attempts - 1))
-        if progress is not None:
-            progress(index, point, outcome, attempts)
+            attempts = entry["attempts"]
+            if outcome not in ("ok", "livelock") and attempts <= sup.max_retries:
+                # transient failure: re-queue with capped backoff
+                waiting.append({
+                    "resume": now + _backoff_delay(sup, attempts - 1),
+                    "index": index, "attempts": attempts})
+                continue
+            if progress is not None:
+                progress(index, points[index], outcome, attempts)
+            if outcome == "ok":
+                completed += 1
+            else:
+                failures.append({
+                    "index": index, "point": dict(points[index]),
+                    "outcome": outcome, "attempts": attempts,
+                })
+                if outcome == "livelock":
+                    completed += 1   # partial result on disk; continue
+            _write_manifest()
 
-        if outcome == "ok":
-            completed += 1
-        else:
-            failures.append({
-                "index": index, "point": dict(point),
-                "outcome": outcome, "attempts": attempts,
-            })
-            if outcome == "livelock":
-                completed += 1   # partial result on disk; sweep continues
-        _write_json(os.path.join(run_dir, "manifest.json"), {
-            "total_points": len(points),
-            "completed": completed,
-            "failures": failures,
-        })
+        if active:
+            # wake on the first worker exit, next deadline or next retry
+            horizon = min(e["deadline"] for e in active.values())
+            if waiting:
+                horizon = min(horizon, min(w["resume"] for w in waiting))
+            timeout = max(0.0, min(horizon - time.monotonic(), 1.0))
+            multiprocessing.connection.wait(
+                [e["proc"].sentinel for e in active.values()], timeout)
+        elif waiting:
+            resume = min(w["resume"] for w in waiting)
+            delay = resume - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
 
     # final manifest even when every point was skipped
-    _write_json(os.path.join(run_dir, "manifest.json"), {
-        "total_points": len(points),
-        "completed": completed,
-        "failures": failures,
-    })
+    _write_manifest()
+    failures.sort(key=lambda f: f["index"])
     return {"total": len(points), "completed": completed,
             "skipped": skipped, "failures": failures,
             "results": load_results(run_dir)}
 
 
-def resume_sweep(run_dir: str) -> Dict:
-    """Pick up a killed supervised sweep where it left off."""
+def resume_sweep(run_dir: str, jobs: Optional[int] = None) -> Dict:
+    """Pick up a killed supervised sweep where it left off.
+
+    *jobs*, when given, overrides the concurrency recorded in
+    ``sweep.json`` (the machine resuming the sweep may not be the one
+    that started it)."""
     spec = _read_json(os.path.join(run_dir, "sweep.json"))
     if spec is None:
         raise FileNotFoundError(
             f"{run_dir}: no sweep.json — not a supervised-sweep directory")
     sup = SupervisorConfig(**spec["supervisor"])
+    if jobs is not None:
+        sup = dataclasses.replace(sup, jobs=jobs)
     ckpt = CheckpointConfig(**spec["checkpoint"])
     return run_supervised_sweep(spec["points"], run_dir, sup, ckpt)
 

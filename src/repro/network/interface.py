@@ -20,7 +20,8 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.config import NetworkConfig
-from repro.network.flit import Flit, Message, MessageClass, Packet
+from repro.network.flit import (Flit, Message, MessageClass, Packet,
+                                release_flit)
 from repro.network.link import CreditLink, FlitLink
 from repro.network.topology import LOCAL
 from repro.obs.trace import NULL_RECORDER
@@ -111,8 +112,12 @@ class NetworkInterface(SimObject):
         #: fault hook: () -> bool, True to lose an outgoing CONFIG message
         self.config_loss_fn: Optional[Callable[[], bool]] = None
         self.config_drops = 0   #: CONFIG messages lost to injected faults
-        #: transient: precomputed injection VC orders (built lazily)
+        #: transient: precomputed injection VC orders (built lazily, after
+        #: subclasses have fixed up total_vcs/config_vc)
         self._vc_orders = None
+        #: cycle of the last executed inject (feeds the derived ``_now``
+        #: clock of the hybrid/SDM NIs; not snapshot state)
+        self._last_inject = 0
         #: trace recorder; NULL_RECORDER keeps every guarded emission
         #: site a single falsy attribute check (never snapshot state)
         self.obs = NULL_RECORDER
@@ -144,7 +149,7 @@ class NetworkInterface(SimObject):
         pkt = Packet(msg, src=self.node, dst=msg.dst, size=size, circuit=False)
         self.ps_queue.append((pkt, None))
         self.sent_messages += 1
-        self._sim_awake = True
+        self.sim_wake()
 
     def enqueue_stream(self, pkt: Packet, flits: Deque[Flit]) -> None:
         """Queue pre-built flits for packet-switched injection (used for
@@ -164,27 +169,30 @@ class NetworkInterface(SimObject):
             flits[0].kind = FlitKind.HEAD
             flits[-1].kind = FlitKind.TAIL
         self.ps_queue.append((pkt, flits))
-        self._sim_awake = True
+        self.sim_wake()
 
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
     def inject(self, cycle: int) -> None:
-        # drains are inlined-guarded: the pipe checks here avoid two
-        # method calls per NI per cycle on the (common) empty path
+        # the drains are fully inlined: pipe pops here avoid both the
+        # guard call and a per-flit list allocation on the loaded path
+        self._last_inject = cycle
         ci = self.credit_in
         if ci is not None and ci._pipe:
-            self._drain_credits(cycle)
+            pipe = ci._pipe
+            local_credits = self.local_credits
+            while pipe and pipe[0][0] <= cycle:
+                local_credits[pipe.popleft()[1]] += 1
         el = self.eject_link
         if el is not None and el._pipe:
-            self._drain_ejections(cycle)
-        if self.endpoint is not None:
-            self.endpoint.tick(cycle)
-        self._pre_pump(cycle)
+            pipe = el._pipe
+            while pipe and pipe[0][0] <= cycle:
+                self._receive_flit(pipe.popleft()[1], cycle)
+        ep = self.endpoint
+        if ep is not None:
+            ep.tick(cycle)
         self._pump_injection(cycle)
-
-    def _pre_pump(self, cycle: int) -> None:
-        """Hook for the hybrid NI: switching decision + circuit queues."""
 
     def sim_idle(self, cycle: int) -> bool:
         """Idle iff the endpoint (if any) is quiescent — endpoints may
@@ -224,13 +232,17 @@ class NetworkInterface(SimObject):
     def _receive_flit(self, flit: Flit, cycle: int) -> None:
         pkt = flit.packet
         self.ledger.ejected += 1
-        self.counters.inc("cs_flit_ejected" if flit.is_circuit
-                          else "ps_flit_ejected")
+        counts = self.counters._counts
+        key = "cs_flit_ejected" if flit.is_circuit else "ps_flit_ejected"
+        counts[key] = counts.get(key, 0) + 1
         pkt.flits_received += 1
         done = pkt.flits_received >= pkt.size
         if self.obs.enabled:
             self.obs.flit_eject(cycle, self._obs_track, pkt.id,
                                 flit.index, flit.is_circuit, done)
+        # ejection is the one point where a flit is provably dead (out of
+        # every buffer, pipe and snapshot): hand it to the optional pool
+        release_flit(flit)
         if not done:
             return
         pkt.eject_cycle = cycle
@@ -271,12 +283,13 @@ class NetworkInterface(SimObject):
     # ------------------------------------------------------------------
     def _pump_injection(self, cycle: int) -> None:
         vc_in_use = self.vc_in_use
+        ps_queue = self.ps_queue
         # grab a free VC for the packet at the head of the queue
-        if self.ps_queue:
-            head_pkt, prebuilt = self.ps_queue[0]
+        if ps_queue:
+            head_pkt, prebuilt = ps_queue[0]
             vc = self._allocate_injection_vc(head_pkt)
             if vc is not None:
-                self.ps_queue.popleft()
+                ps_queue.popleft()
                 flits = prebuilt if prebuilt is not None \
                     else deque(head_pkt.make_flits())
                 for f in flits:
@@ -287,18 +300,33 @@ class NetworkInterface(SimObject):
         elif vc_in_use.count(None) == len(vc_in_use):
             return  # nothing queued, nothing streaming
         # stream at most one flit per cycle into the injection link
-        # (the local input port is one physical channel)
-        for vc in self._injection_vc_order(cycle):
+        # (the local input port is one physical channel); the link send
+        # is inlined — this runs once per injected flit network-wide
+        orders = self._vc_orders
+        if orders is None:
+            self._injection_vc_order(cycle)     # builds the table
+            orders = self._vc_orders
+        local_credits = self.local_credits
+        for vc in orders[cycle % len(orders)]:
             stream = vc_in_use[vc]
             if stream is None:
                 continue
-            if self.local_credits[vc] <= 0:
+            if local_credits[vc] <= 0:
                 continue
             flit = stream.popleft()
-            self.local_credits[vc] -= 1
-            self.inject_link.send(flit, cycle)
+            local_credits[vc] -= 1
+            il = self.inject_link
+            if il.faulty:
+                il.send(flit, cycle)    # slow path keeps drop accounting
+            else:
+                il._pipe.append((cycle + il.latency, flit))
+                il.flits_carried += 1
+                ws = il.wake_sink
+                if ws is not None and not ws._sim_awake:
+                    ws.sim_wake()
             self.ledger.injected += 1
-            self.counters.inc("flit_injected")
+            counts = self.counters._counts
+            counts["flit_injected"] = counts.get("flit_injected", 0) + 1
             if self.obs.enabled:
                 pkt = flit.packet
                 self.obs.flit_inject(cycle, self._obs_track, pkt.id,

@@ -57,8 +57,8 @@ class FlitLink:
         self._pipe.append((cycle + self.latency, flit))
         self.flits_carried += 1
         ws = self.wake_sink
-        if ws is not None:
-            ws._sim_awake = True
+        if ws is not None and not ws._sim_awake:
+            ws.sim_wake()
 
     def arrivals(self, cycle: int) -> List[Flit]:
         """Pop and return every flit due at *cycle*."""
@@ -106,8 +106,8 @@ class CreditLink:
     def send(self, vc: int, cycle: int) -> None:
         self._pipe.append((cycle + self.latency, vc))
         ws = self.wake_sink
-        if ws is not None:
-            ws._sim_awake = True
+        if ws is not None and not ws._sim_awake:
+            ws.sim_wake()
 
     def arrivals(self, cycle: int) -> List[int]:
         out: List[int] = []

@@ -242,7 +242,7 @@ class Network:
     def attach_endpoint(self, node: int, endpoint) -> None:
         ni = self.interfaces[node]
         ni.endpoint = endpoint
-        ni._sim_awake = True   # an endpoint must be ticked every cycle
+        ni.sim_wake()   # an endpoint must be ticked every cycle
         endpoint.attach(ni)
 
 
@@ -289,6 +289,11 @@ def _wire(cfg: NetworkConfig, sim: Simulator,
 
 def build_network(cfg: NetworkConfig, sim: Simulator) -> Network:
     """Build the network matching ``cfg.switching`` and register it."""
+    # the pool is process-global: the last-built network's config wins,
+    # which keeps paired builds (e.g. the differential-equivalence
+    # harness building both engines from one config) consistent
+    from repro.network.flit import enable_flit_pool
+    enable_flit_pool(cfg.flit_pool)
     if cfg.switching == "packet":
         net = _build(cfg, sim, PacketRouter, NetworkInterface, Network)
     elif cfg.switching == "tdm":

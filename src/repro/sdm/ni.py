@@ -31,7 +31,6 @@ class SDMNetworkInterface(NetworkInterface):
                               + [cfg.router.config_vc_depth])
         self.vc_in_use = [None] * self.total_vcs
         self.manager = None
-        self._last_inject = 0       #: cycle of the last executed inject
         self._cs_outstanding = 0
 
     @property
@@ -45,10 +44,6 @@ class SDMNetworkInterface(NetworkInterface):
         return last
 
     # ------------------------------------------------------------------
-    def inject(self, cycle: int) -> None:
-        self._last_inject = cycle
-        super().inject(cycle)
-
     def sim_idle(self, cycle: int) -> bool:
         if self._cs_outstanding:
             return False
@@ -75,7 +70,7 @@ class SDMNetworkInterface(NetworkInterface):
                      circuit=False)
         self.ps_queue.append((pkt, None))
         self.sent_messages += 1
-        self._sim_awake = True
+        self.sim_wake()
 
     def _send_circuit(self, msg: Message, plan) -> None:
         pkt = Packet(msg, src=self.node, dst=plan.circuit_dst,

@@ -157,7 +157,7 @@ class SDMRouter(PacketRouter):
                               on_fail: Callable, token: dict) -> None:
         self._cs_inject.setdefault(cycle, []).append(
             (flit, on_ok, on_fail, token))
-        self._sim_awake = True
+        self.sim_wake()
 
     def _process_cs_injections(self, cycle: int) -> None:
         injections = self._cs_inject.pop(cycle, None)

@@ -41,6 +41,21 @@ The simulator ships two schedulers that are *behaviourally identical*
     wholesale (:meth:`Simulator.disable_sleep`): fault events mutate
     components behind the scheduler's back, and correctness beats speed
     on those rare runs.
+
+    The scheduler keeps *awake lists*: per-phase lists holding only the
+    components that must run (everything that cannot sleep, plus the
+    currently-awake sleepables).  The per-cycle loop therefore never
+    touches sleeping components at all — no per-object ``_sim_awake``
+    check on the hot path.  Wakes (:meth:`SimObject.sim_wake`) mark the
+    component for (re-)insertion and set a kernel flag; the lists are
+    rebuilt lazily, in canonical registration order, at the next cycle
+    boundary.  A component woken mid-cycle thus runs its phases again
+    starting with the *next* cycle — which is hash-identical to the old
+    behaviour, because the phases it would have run in the wake cycle
+    are provably no-ops: every wake event is a *future* delivery (link
+    latencies >= 1, circuit injections are slot-aligned ahead of time)
+    or targets a component that is still awake (the CS-callback paths
+    hold their NI awake through ``_cs_outstanding``).
 """
 
 from __future__ import annotations
@@ -105,6 +120,25 @@ class SimObject:
     #: scheduler metadata — NEVER part of ``state_dict`` (both engines
     #: must hash identically); set by :meth:`Simulator.add`
     _sim_awake: bool = True
+
+    #: True while the object is present in (or pending insertion into)
+    #: the fast engine's awake lists — scheduler metadata, never state
+    _sim_in_lists: bool = False
+
+    #: owning :class:`Simulator` (wiring, set by :meth:`Simulator.add`)
+    _sim_kernel: Optional["Simulator"] = None
+
+    def sim_wake(self) -> None:
+        """Wake this object: it runs its phases again starting with the
+        next cycle.  Idempotent and cheap when already awake; hot call
+        sites guard with ``if not obj._sim_awake: obj.sim_wake()`` to
+        skip even the method call."""
+        self._sim_awake = True
+        if not self._sim_in_lists:
+            self._sim_in_lists = True
+            kernel = self._sim_kernel
+            if kernel is not None:
+                kernel._wake_pending = True
 
     def sim_idle(self, cycle: int) -> bool:
         """True when every phase of this object would be a no-op at
@@ -242,6 +276,18 @@ class Simulator:
         self._sleepables: List[SimObject] = []
         self._sleep_enabled = engine == "fast"
         self._step = self._step_fast if engine == "fast" else self._step_legacy
+        # fast-engine awake lists: per-phase lists holding only the
+        # objects that must run this cycle (see the module docstring);
+        # rebuilt lazily when _wake_pending is set or a sleep occurs
+        self._wake_pending = False
+        # the phase lists hold *bound methods* (one attribute lookup per
+        # object per cycle saved); the sleepables list holds the objects
+        # themselves (the sleep loop needs their flags)
+        self._awake_deliver: List[Callable[[int], None]] = []
+        self._awake_transfer: List[Callable[[int], None]] = []
+        self._awake_inject: List[Callable[[int], None]] = []
+        self._awake_control: List[Callable[[int], None]] = []
+        self._awake_sleepables: List[SimObject] = []
 
     # ------------------------------------------------------------------
     # registration
@@ -250,11 +296,14 @@ class Simulator:
         """Register *obj* for every phase it overrides. Returns *obj*."""
         self._objects.append(obj)
         obj._sim_awake = True
+        obj._sim_in_lists = True
+        obj._sim_kernel = self
         for phase in PHASES:
             if _overrides(obj, phase):
                 self._phase_lists[phase].append(obj)
         if obj._sim_can_sleep:
             self._sleepables.append(obj)
+        self._wake_pending = True
         return obj
 
     def add_end_hook(self, fn: Callable[[int], None]) -> None:
@@ -292,6 +341,8 @@ class Simulator:
         components the scheduler believed idle)."""
         for obj in self._objects:
             obj._sim_awake = True
+            obj._sim_in_lists = True
+        self._wake_pending = True
 
     def disable_sleep(self) -> None:
         """Permanently fall back to run-everything scheduling.
@@ -329,34 +380,64 @@ class Simulator:
             obj.control(c)
         self.cycle = c + 1
 
+    def _rebuild_awake_lists(self) -> None:
+        """Re-derive the awake lists from the canonical phase lists.
+
+        Filtering the full registration-ordered lists (rather than
+        appending wakes as they come in) keeps phase execution order —
+        and with it the order of shared-RNG draws — identical to the
+        legacy engine's, at a cost that only occurs on sleep/wake
+        *transitions*, never on steady-state cycles."""
+        self._wake_pending = False
+        pl = self._phase_lists
+        self._awake_deliver = [o.deliver for o in pl["deliver"]
+                               if o._sim_in_lists]
+        self._awake_transfer = [o.transfer for o in pl["transfer"]
+                                if o._sim_in_lists]
+        self._awake_inject = [o.inject for o in pl["inject"]
+                              if o._sim_in_lists]
+        self._awake_control = [o.control for o in pl["control"]
+                               if o._sim_in_lists]
+        self._awake_sleepables = [o for o in self._sleepables
+                                  if o._sim_in_lists]
+
     def _step_fast(self) -> None:
-        """One cycle, skipping sleeping components.
+        """One cycle over the awake lists only.
 
         A component woken mid-cycle (flit sent into one of its links)
-        runs its remaining phases this cycle; since it was idle when it
-        went to sleep and nothing has *arrived* yet (link latency >= 1),
-        those phases are the same no-ops the legacy engine would run.
+        re-enters the lists at the next cycle boundary; the phases it
+        skips in the wake cycle are provably no-ops (see the module
+        docstring), so the state trajectory matches the legacy engine's.
         """
+        if self._wake_pending:
+            self._rebuild_awake_lists()
         c = self.cycle
-        for obj in self._phase_lists["deliver"]:
-            if obj._sim_awake:
-                obj.deliver(c)
-        for obj in self._phase_lists["transfer"]:
-            if obj._sim_awake:
-                obj.transfer(c)
-        for obj in self._phase_lists["inject"]:
-            if obj._sim_awake:
-                obj.inject(c)
-        for obj in self._phase_lists["control"]:
-            if obj._sim_awake:
-                obj.control(c)
+        for method in self._awake_deliver:
+            method(c)
+        for method in self._awake_transfer:
+            method(c)
+        for method in self._awake_inject:
+            method(c)
+        for method in self._awake_control:
+            method(c)
         # sleep decision: only after the object has just executed a
         # provably no-op cycle (its predicate holds *now*), so any
         # end-of-activity bookkeeping (e.g. the hybrid router's
-        # crossbar-usage flags) has already settled to the idle state
-        for obj in self._sleepables:
-            if obj._sim_awake and obj.sim_idle(c):
-                obj._sim_awake = False
+        # crossbar-usage flags) has already settled to the idle state.
+        # The scan runs every 4th cycle: sleeping *later* than strictly
+        # possible is always state-safe (the extra cycles are exactly
+        # the no-ops the legacy engine runs), and amortising the scan
+        # both cuts its cost and batches sleep transitions into fewer
+        # awake-list rebuilds.
+        if c & 3 == 3:
+            slept = False
+            for obj in self._awake_sleepables:
+                if obj._sim_awake and obj.sim_idle(c):
+                    obj._sim_awake = False
+                    obj._sim_in_lists = False
+                    slept = True
+            if slept:
+                self._rebuild_awake_lists()
         self.cycle = c + 1
 
     def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:
@@ -365,11 +446,16 @@ class Simulator:
         Returns the number of cycles actually executed.
         """
         executed = 0
-        for _ in range(cycles):
-            if until is not None and until():
-                break
-            self.step()
-            executed += 1
+        if until is None:
+            for _ in range(cycles):
+                self._step()
+            executed = cycles
+        else:
+            for _ in range(cycles):
+                if until():
+                    break
+                self._step()
+                executed += 1
         for hook in self._end_hooks:
             hook(self.cycle)
         return executed

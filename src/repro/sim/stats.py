@@ -9,7 +9,7 @@ headline metric of the paper, so we keep full fidelity there).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 
 class Counter:
@@ -83,18 +83,29 @@ class RunningMean:
 
 
 class LatencySample:
-    """Retains raw latency samples for mean/percentile reporting."""
+    """Retains raw latency samples for mean/percentile reporting.
 
-    __slots__ = ("samples",)
+    Percentile queries sort lazily and cache the sorted array until the
+    next append, so reporting several percentiles of the same window
+    (avg/p50/p99/max in every sweep row) sorts once instead of once per
+    query.  The cache is derived state: it is dropped from pickles (and
+    therefore from ``state_dict`` hashes — whether a percentile was
+    queried must never change a snapshot) and rebuilt on demand.
+    """
+
+    __slots__ = ("samples", "_sorted")
 
     def __init__(self) -> None:
         self.samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def add(self, x: float) -> None:
         self.samples.append(x)
+        self._sorted = None
 
     def extend(self, xs: Iterable[float]) -> None:
         self.samples.extend(xs)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -115,13 +126,22 @@ class LatencySample:
             raise ValueError(f"percentile p must be in [0, 100], got {p!r}")
         if not self.samples:
             return float("nan")
-        xs = sorted(self.samples)
+        xs = self._sorted
+        if xs is None:
+            xs = self._sorted = sorted(self.samples)
         rank = max(1, math.ceil(p / 100.0 * len(xs)))
         return xs[rank - 1]
 
     @property
     def max(self) -> float:
         return max(self.samples) if self.samples else float("nan")
+
+    def __getstate__(self):
+        return self.samples
+
+    def __setstate__(self, samples) -> None:
+        self.samples = samples
+        self._sorted = None
 
 
 class Histogram:

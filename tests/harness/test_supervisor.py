@@ -99,6 +99,92 @@ class TestSupervisedSweep:
             resume_sweep(str(tmp_path / "nonexistent"))
 
 
+class TestParallelSweep:
+    """jobs > 1 must change wall-clock behaviour only — never results."""
+
+    def _grid(self, n=5, **overrides):
+        pts = build_sweep_points(["packet_vc4"], "uniform_random",
+                                 [0.05 * (i + 1) for i in range(n)],
+                                 width=3, height=3, slot_table_size=32,
+                                 warmup=150, measure=150)
+        for p in pts:
+            p.update(overrides)
+        return pts
+
+    def test_parallel_matches_serial_results(self, tmp_path):
+        pts = self._grid()
+        serial = run_supervised_sweep(pts, str(tmp_path / "serial"),
+                                      _sup(jobs=1))
+        par = run_supervised_sweep(pts, str(tmp_path / "par"),
+                                   _sup(jobs=4))
+        assert serial["failures"] == par["failures"] == []
+        assert serial["completed"] == par["completed"] == len(pts)
+        # identical rows, in point-index order, regardless of the order
+        # in which the parallel workers finished
+        assert [r["row"] for r in serial["results"]] \
+            == [r["row"] for r in par["results"]]
+
+    def test_parallel_run_is_deterministic(self, tmp_path):
+        pts = self._grid(n=4)
+        a = run_supervised_sweep(pts, str(tmp_path / "a"), _sup(jobs=4))
+        b = run_supervised_sweep(pts, str(tmp_path / "b"), _sup(jobs=4))
+        assert [r["row"] for r in a["results"]] \
+            == [r["row"] for r in b["results"]]
+
+    def test_parallel_failures_ordered_and_retried(self, tmp_path):
+        pts = self._grid(n=4)
+        pts[2]["_test_fail"] = "crash"
+        pts[0]["_test_fail"] = "livelock"
+        summary = run_supervised_sweep(pts, str(tmp_path / "run"),
+                                       _sup(jobs=4, max_retries=1))
+        assert [f["index"] for f in summary["failures"]] == [0, 2]
+        by_index = {f["index"]: f for f in summary["failures"]}
+        assert by_index[0]["outcome"] == "livelock"
+        assert by_index[0]["attempts"] == 1   # livelock never retried
+        assert by_index[2]["outcome"] == "crash"
+        assert by_index[2]["attempts"] == 2   # initial try + 1 retry
+        # healthy points all completed despite the two failures
+        assert summary["completed"] == 3      # 2 ok + livelock partial
+
+        manifest = json.load(
+            open(os.path.join(str(tmp_path / "run"), "manifest.json")))
+        assert [f["index"] for f in manifest["failures"]] == [0, 2]
+
+    def test_resume_partial_parallel_run(self, tmp_path):
+        pts = self._grid(n=4)
+        run_dir = str(tmp_path / "run")
+        # simulate a sweep killed mid-way: run points 1 and 3 only, as a
+        # parallel run would have completed them out of order
+        first = run_supervised_sweep([pts[1], pts[3]],
+                                     str(tmp_path / "pre"), _sup(jobs=2))
+        os.makedirs(os.path.join(run_dir, "points"))
+        for got, idx in ((0, 1), (1, 3)):
+            os.rename(
+                os.path.join(str(tmp_path / "pre"), "points",
+                             f"point-{got:04d}.json"),
+                os.path.join(run_dir, "points", f"point-{idx:04d}.json"))
+        summary = run_supervised_sweep(pts, run_dir, _sup(jobs=4))
+        assert summary["skipped"] == 2
+        assert summary["completed"] == 4
+        assert summary["failures"] == []
+        rows = [r["row"]["offered"] for r in summary["results"]]
+        assert rows == sorted(rows)
+        assert first["failures"] == []
+
+    def test_resume_honours_jobs_override(self, tmp_path):
+        pts = self._grid(n=2)
+        run_dir = str(tmp_path / "run")
+        run_supervised_sweep(pts[:1], run_dir, _sup(jobs=1))
+        # sweep.json only recorded one point; rewrite it with the full
+        # grid as a killed full sweep would have
+        spec = json.load(open(os.path.join(run_dir, "sweep.json")))
+        spec["points"] = pts
+        json.dump(spec, open(os.path.join(run_dir, "sweep.json"), "w"))
+        summary = resume_sweep(run_dir, jobs=4)
+        assert summary["skipped"] == 1
+        assert summary["completed"] == 2
+
+
 class TestRunnerCheckpointResume:
     def test_checkpointed_rerun_matches_uninterrupted(self, tmp_path):
         kw = dict(warmup=200, measure=300, seed=3, width=3, height=3,

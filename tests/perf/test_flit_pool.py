@@ -1,0 +1,84 @@
+"""Flit free-list pooling must be behaviour-invisible.
+
+The pool recycles flit *objects*; nothing about flit *contents*, RNG
+draws, stats or snapshot hashes may change when it is on.  These tests
+run the same workload with the pool on and off and require identical
+results and state hashes, and separately check that the pool is
+actually exercised (a pool that never recycles would trivially pass).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import scheme_config
+from repro.harness.runner import prepare_synthetic, run_synthetic
+from repro.network.flit import enable_flit_pool, flit_pool_size
+from repro.sim.checkpoint import state_hash
+
+
+@pytest.fixture(autouse=True)
+def _pool_off_after():
+    yield
+    enable_flit_pool(False)
+
+
+def _cfg(scheme, pooled):
+    cfg = scheme_config(scheme, width=4, height=4, slot_table_size=32)
+    return dataclasses.replace(cfg, flit_pool=pooled)
+
+
+@pytest.mark.parametrize("scheme", ["packet_vc4", "hybrid_tdm_vc4"])
+def test_pool_preserves_results(scheme):
+    kw = dict(warmup=200, measure=400, seed=3,
+              width=4, height=4, slot_table_size=32)
+    plain = run_synthetic(scheme, "uniform_random", 0.2,
+                          cfg=_cfg(scheme, False), **kw)
+    pooled = run_synthetic(scheme, "uniform_random", 0.2,
+                           cfg=_cfg(scheme, True), **kw)
+    assert pooled.messages_delivered == plain.messages_delivered
+    assert pooled.avg_latency == plain.avg_latency
+    assert pooled.p99_latency == plain.p99_latency
+    assert pooled.accepted == plain.accepted
+    assert pooled.energy.total == plain.energy.total
+
+
+def test_pool_preserves_state_hashes():
+    hashes = {}
+    for pooled in (False, True):
+        sim, net, _src = prepare_synthetic(
+            "hybrid_tdm_vc4", "uniform_random", 0.2, seed=1,
+            width=4, height=4, slot_table_size=32,
+            cfg=_cfg("hybrid_tdm_vc4", pooled))
+        hs = []
+        for _ in range(4):
+            sim.run(sim.cycle + 100)
+            hs.append(state_hash(sim.state_dict()))
+        hashes[pooled] = hs
+    assert hashes[False] == hashes[True], \
+        "pooled flits leaked into snapshot-visible state"
+
+
+def test_pool_actually_recycles():
+    sim, _net, _src = prepare_synthetic(
+        "hybrid_tdm_vc4", "uniform_random", 0.25, seed=1,
+        width=4, height=4, slot_table_size=32,
+        cfg=_cfg("hybrid_tdm_vc4", True))
+    sim.run(400)
+    assert flit_pool_size() > 0, \
+        "no flit was ever released back to the pool"
+
+
+def test_build_network_disables_pool_when_unconfigured():
+    # a pooled build followed by a default build must leave the pool
+    # off — the flag is process-global and the last build wins
+    prepare_synthetic("hybrid_tdm_vc4", "uniform_random", 0.2, seed=1,
+                      width=4, height=4, slot_table_size=32,
+                      cfg=_cfg("hybrid_tdm_vc4", True))
+    prepare_synthetic("hybrid_tdm_vc4", "uniform_random", 0.2, seed=1,
+                      width=4, height=4, slot_table_size=32)
+    assert flit_pool_size() == 0
+    from repro.network import flit as flit_mod
+    assert flit_mod._flit_pool is None

@@ -1,0 +1,89 @@
+"""Edge cases of the precomputed TDM slot-advance table.
+
+``SlotClock.advance2`` caches ``(s + 2) mod active`` for every live slot
+so the per-hop advance in the circuit-setup walk is a list index instead
+of a modulo.  The table is only correct while it matches the active
+wheel size, so resizes (dynamic granularity adjustment and snapshot
+restore both go through ``set_active``) must rebuild it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.slot_table import SlotClock
+
+
+class TestAdvanceTable:
+    @pytest.mark.parametrize("active", [2, 3, 5, 32, 64, 128])
+    def test_matches_modulo_for_every_slot(self, active):
+        clock = SlotClock(128, active=active)
+        assert len(clock.advance2) == active
+        for s in range(active):
+            assert clock.advance2[s] == (s + 2) % active
+
+    def test_wraparound_at_largest_table_size(self):
+        # the two highest slots of a full-size wheel wrap to 0 and 1;
+        # an off-by-one here would send a setup walk to a dead slot
+        clock = SlotClock(128)
+        assert clock.advance2[126] == 0
+        assert clock.advance2[127] == 1
+        assert clock.advance2[0] == 2
+
+    def test_minimum_wheel_is_identity(self):
+        # active == 2: +2 mod 2 lands back on the same slot
+        clock = SlotClock(2)
+        assert clock.advance2 == [0, 1]
+
+
+class TestResizeInvalidation:
+    def test_mid_epoch_resize_rebuilds_table(self):
+        clock = SlotClock(64, active=64)
+        assert clock.advance2[63] == 1
+        # dynamic granularity adjustment shrinks the wheel mid-run
+        clock.set_active(16)
+        assert len(clock.advance2) == 16
+        for s in range(16):
+            assert clock.advance2[s] == (s + 2) % 16
+        # growing back must not resurrect the old 64-entry map
+        clock.set_active(32)
+        assert len(clock.advance2) == 32
+        assert clock.advance2[30] == 0
+        assert clock.advance2[31] == 1
+
+    def test_direct_attribute_write_also_rebuilds(self):
+        # restore paths and older tests assign ``clock.active`` directly;
+        # the __setattr__ hook must keep the table in sync regardless
+        clock = SlotClock(64, active=64)
+        clock.active = 8
+        assert len(clock.advance2) == 8
+        assert clock.advance2[7] == 1
+
+    def test_resize_does_not_bump_generation(self):
+        # generation bumping stays with the dynamic-resize caller;
+        # a snapshot restore resizes without bumping
+        clock = SlotClock(64)
+        gen = clock.generation
+        clock.set_active(8)
+        assert clock.generation == gen
+
+    def test_resize_validates_range(self):
+        clock = SlotClock(64)
+        with pytest.raises(ValueError):
+            clock.set_active(1)
+        with pytest.raises(ValueError):
+            clock.set_active(65)
+        # failed resize leaves the table intact
+        assert len(clock.advance2) == 64
+
+    def test_advance_consistent_with_slot_mapping(self):
+        # walking two cycles forward on the wheel must agree with the
+        # precomputed advance, before and after a resize
+        clock = SlotClock(32, active=20)
+        for cycle in range(50):
+            s = clock.slot(cycle)
+            assert clock.advance2[s] == clock.slot(cycle + 2)
+        clock.set_active(12)
+        for cycle in range(50):
+            s = clock.slot(cycle)
+            assert clock.advance2[s] == clock.slot(cycle + 2)

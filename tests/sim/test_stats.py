@@ -100,6 +100,38 @@ class TestLatencySample:
         assert min(xs) <= ls.percentile(50) <= max(xs)
         assert ls.percentile(100) == max(xs)
 
+    def test_interleaved_append_and_percentile(self):
+        # every append must invalidate the cached sort; a stale cache
+        # would answer from the pre-append samples
+        ls = LatencySample()
+        ref = []
+        for batch in ([5], [1, 9], [3], [7, 2, 8], [0]):
+            for x in batch:
+                ls.add(x)
+                ref.append(x)
+            xs = sorted(ref)
+            for p in (0, 50, 99, 100):
+                rank = max(1, math.ceil(p / 100.0 * len(xs)))
+                assert ls.percentile(p) == xs[rank - 1]
+        ls.extend([4, 6])
+        ref.extend([4, 6])
+        assert ls.percentile(100) == max(ref)
+        assert ls.percentile(0) == min(ref)
+
+    def test_sort_cache_excluded_from_pickle(self):
+        import pickle
+        a = LatencySample()
+        a.extend([3, 1, 2])
+        b = LatencySample()
+        b.extend([3, 1, 2])
+        b.percentile(50)        # populates b's cache, a's stays empty
+        assert pickle.dumps(a) == pickle.dumps(b), \
+            "querying a percentile must not change the pickled bytes"
+        c = pickle.loads(pickle.dumps(b))
+        assert c.samples == b.samples
+        c.add(0)                # restored object must invalidate cleanly
+        assert c.percentile(0) == 0
+
 
 class TestHistogram:
     def test_bucketing(self):

@@ -28,6 +28,10 @@ Commands
 ``profile``   cProfile one loaded epoch and print the hottest frames
 ``resume``    pick up a killed supervised sweep (``sweep --supervised``)
               where it left off
+``chaos``     chaos-test the sweep fabric: run a real supervised sweep
+              under injected SIGKILLs, supervisor loss, file corruption
+              and disk-full errors, then assert the result is identical
+              to an undisturbed serial run
 
 Examples
 --------
@@ -211,7 +215,9 @@ def _supervised_sweep(args, schemes, rates) -> int:
         print("--supervised requires --run-dir", file=sys.stderr)
         return 2
     sup = SupervisorConfig(enabled=True, timeout_s=args.timeout,
-                           max_retries=args.retries, jobs=args.jobs)
+                           max_retries=args.retries, jobs=args.jobs,
+                           lease_ttl_s=args.lease_ttl,
+                           heartbeat_interval_s=args.heartbeat_interval)
     ckpt = CheckpointConfig(enabled=args.checkpoint_cycles > 0,
                             interval_cycles=args.checkpoint_cycles)
     points = build_sweep_points(schemes, args.pattern, rates,
@@ -231,10 +237,40 @@ def _supervised_sweep(args, schemes, rates) -> int:
 
 
 def cmd_resume(args) -> int:
-    from repro.harness.supervisor import resume_sweep
-    summary = resume_sweep(args.run_dir, jobs=args.jobs)
+    from repro.harness.supervisor import SweepConfigError, resume_sweep
+    try:
+        summary = resume_sweep(args.run_dir, jobs=args.jobs)
+    except (FileNotFoundError, SweepConfigError) as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
     _print_sweep_summary(summary)
     return 0 if not summary["failures"] else 1
+
+
+def cmd_chaos(args) -> int:
+    from repro.harness.chaos import ChaosConfig, run_chaos
+
+    cfg = ChaosConfig(points=args.points, kill_rate=args.kill_rate,
+                      corrupt_rate=args.corrupt_rate,
+                      diskfull_rate=args.diskfull_rate,
+                      supervisor_kill_rate=args.supervisor_kill_rate,
+                      cycles=args.cycles, jobs=args.jobs, seed=args.seed,
+                      timeout_s=args.timeout)
+    report = run_chaos(cfg, args.run_dir, progress=print)
+    print(f"\n{report['total_kills']} worker kill(s), "
+          f"{report['supervisor_kills']} supervisor kill(s), "
+          f"{report['total_corruptions']} corruption(s) over "
+          f"{report['cycles_run']} cycle(s) in {report['elapsed_s']}s")
+    if report["ok"]:
+        print("CHAOS PASS: manifest complete, checksum-clean, identical "
+              "to the undisturbed serial run")
+        print(f"report: {report['report_path']}")
+        return 0
+    print("CHAOS FAIL:")
+    for problem in report["problems"]:
+        print(f"  {problem}")
+    print(f"report: {report['report_path']}")
+    return 1
 
 
 def cmd_verify_replay(args) -> int:
@@ -492,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent supervised points (0 = one per CPU)")
     p.add_argument("--checkpoint-cycles", type=int, default=0,
                    help="snapshot each point's state every N cycles")
+    p.add_argument("--lease-ttl", type=float, default=60.0,
+                   help="heartbeat staleness (s) after which a worker's "
+                        "lease expires and its point is reclaimed "
+                        "(0 disables lease expiry)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="period (s) of worker heartbeat writes")
     p.add_argument("--trace", action="store_true",
                    help="write per-point trace dumps (JSONL + Chrome "
                         "format) next to the results")
@@ -509,6 +551,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="override the concurrency recorded in sweep.json")
     p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser("chaos",
+                       help="chaos-test the supervised sweep fabric")
+    p.add_argument("--run-dir", default="chaos-run",
+                   help="directory for the reference + chaos runs and "
+                        "chaos-report.json")
+    p.add_argument("--points", type=int, default=8,
+                   help="sweep-grid size for the campaign")
+    p.add_argument("--kill-rate", type=float, default=0.3,
+                   help="per-second SIGKILL hazard per running worker")
+    p.add_argument("--corrupt-rate", type=float, default=0.4,
+                   help="per-file truncate/bit-flip probability between "
+                        "resume cycles")
+    p.add_argument("--diskfull-rate", type=float, default=0.1,
+                   help="per-write injected-ENOSPC probability inside "
+                        "workers")
+    p.add_argument("--supervisor-kill-rate", type=float, default=0.5,
+                   help="probability of SIGKILLing the whole supervisor "
+                        "per disturbed cycle")
+    p.add_argument("--cycles", type=int, default=4,
+                   help="resume cycles; the final one runs undisturbed")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="concurrency of the chaos run")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-point wall-clock timeout in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("verify-replay",
                        help="verify snapshot/restore determinism")

@@ -275,6 +275,13 @@ class SupervisorConfig:
     backoff_factor: float = 2.0   #: exponential growth per retry
     backoff_cap_s: float = 30.0   #: delay ceiling
     jobs: int = 0                 #: concurrent points; 0 = os.cpu_count()
+    #: heartbeat staleness after which a point's lease is reclaimed and
+    #: the point re-queued — catches workers that die without an
+    #: observable exit status (SIGKILL, OOM, host loss).  0 disables
+    #: lease expiry (exit-status supervision only).
+    lease_ttl_s: float = 60.0
+    #: period of the worker-side heartbeat file writes
+    heartbeat_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
@@ -287,6 +294,14 @@ class SupervisorConfig:
             raise ValueError("backoff delays must be >= 0")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be > 0")
+        if self.lease_ttl_s < 0:
+            raise ValueError("lease_ttl_s must be >= 0 (0 = disabled)")
+        if 0 < self.lease_ttl_s < 2 * self.heartbeat_interval_s:
+            raise ValueError(
+                "lease_ttl_s must be at least 2x heartbeat_interval_s "
+                "(shorter TTLs would expire healthy workers)")
 
 
 @dataclass

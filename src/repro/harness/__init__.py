@@ -21,11 +21,15 @@ from repro.harness.runner import (
 )
 from repro.harness.report import format_table, write_csv
 from repro.harness.supervisor import (
+    SweepConfigError,
+    amend_sweep_points,
     build_sweep_points,
     load_results,
     resume_sweep,
     run_supervised_sweep,
 )
+from repro.harness.executor import Executor, LocalProcessExecutor
+from repro.harness.store import ArtifactStore
 from repro.harness.verify import ReplayReport, verify_replay
 from repro.harness import experiments
 
@@ -38,10 +42,15 @@ __all__ = [
     "format_table",
     "write_csv",
     "experiments",
+    "SweepConfigError",
+    "amend_sweep_points",
     "build_sweep_points",
     "load_results",
     "resume_sweep",
     "run_supervised_sweep",
+    "Executor",
+    "LocalProcessExecutor",
+    "ArtifactStore",
     "ReplayReport",
     "verify_replay",
 ]

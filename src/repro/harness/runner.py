@@ -55,6 +55,9 @@ class SynthRun:
     cycles: int
     slot_wheel: int             #: final active slot-table size (TDM)
     note: str = ""              #: "" = clean run; e.g. "livelock@1234"
+    #: canonical hash of the final simulation state (only when the run
+    #: was asked for it); lets sweep fabrics compare runs bit-for-bit
+    state_hash: str = ""
 
     @property
     def energy_per_message_pj(self) -> float:
@@ -100,7 +103,8 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
                   energy_params: Optional[EnergyParams] = None,
                   checkpoint_dir: Optional[str] = None,
                   checkpoint_cycles: int = 0,
-                  observability=None) -> SynthRun:
+                  observability=None,
+                  with_state_hash: bool = False) -> SynthRun:
     """One (scheme, pattern, rate) simulation with warmup + measurement.
 
     With ``checkpoint_dir`` set (and ``checkpoint_cycles > 0``), the run
@@ -159,6 +163,10 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
 
     if observability is not None:
         observability.finalize(sim)
+    final_hash = ""
+    if with_state_hash:
+        from repro.sim.checkpoint import capture_state, state_hash
+        final_hash = state_hash(capture_state(sim, net))
     cs = net.cs_flit_fraction() if hasattr(net, "cs_flit_fraction") else 0.0
     wheel = net.clock.active if hasattr(net, "clock") else 0
     return SynthRun(
@@ -174,6 +182,7 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
         cycles=net.measured_cycles,
         slot_wheel=wheel,
         note=note,
+        state_hash=final_hash,
     )
 
 

@@ -62,6 +62,53 @@ class SnapshotCorruptError(SnapshotError):
 
 
 # ---------------------------------------------------------------------------
+# checksum / durable-write surface (shared with repro.harness.store)
+# ---------------------------------------------------------------------------
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of *data* — the checksum used everywhere on disk."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str, chunk: int = 1 << 20) -> str:
+    """Hex SHA-256 of a file's contents, streamed in *chunk* blocks."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Durable atomic write: tmp file + flush + fsync + rename.
+
+    The rename is additionally made durable by fsyncing the containing
+    directory (best effort — not all filesystems support it), so a
+    crash immediately after this returns cannot lose the rename.
+    A crash at any earlier moment leaves at most a stray ``*.tmp``
+    file; the final name is never visible half-written.
+    """
+    path = os.path.abspath(path)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:  # pragma: no cover - platform dependent
+        dfd = os.open(os.path.dirname(path), os.O_RDONLY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
 # capture / restore
 # ---------------------------------------------------------------------------
 def capture_state(sim, net) -> Dict:
@@ -266,18 +313,12 @@ def save_snapshot(path: str, tree: Dict, cycle: int,
     header = {
         "version": SNAPSHOT_VERSION,
         "cycle": int(cycle),
-        "sha256": hashlib.sha256(payload).hexdigest(),
+        "sha256": sha256_bytes(payload),
         "payload_bytes": len(payload),
         "meta": meta or {},
     }
     blob = MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + payload
-    tmp = path + ".tmp"
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(tmp, "wb") as fh:
-        fh.write(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    atomic_write_bytes(path, blob)
     return path
 
 
@@ -311,7 +352,7 @@ def load_snapshot(path: str) -> "LoadedSnapshot":
         raise SnapshotCorruptError(
             f"{path}: payload truncated ({len(payload)} bytes, header "
             f"says {header.get('payload_bytes')})")
-    if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+    if sha256_bytes(payload) != header.get("sha256"):
         raise SnapshotCorruptError(f"{path}: checksum mismatch")
     try:
         tree = pickle.loads(payload)

@@ -1,19 +1,28 @@
-"""Supervised sweep runner: isolation, retry, manifest, resume."""
+"""Supervised sweep runner: isolation, retry, leases, manifest, resume."""
 
 from __future__ import annotations
 
 import json
 import os
+import signal
+import threading
+import time
 
 import pytest
 
 from repro.config import SupervisorConfig
+from repro.harness import store
+from repro.harness.executor import LocalProcessExecutor, WorkerStatus
 from repro.harness.runner import run_synthetic
 from repro.harness.supervisor import (
+    SweepConfigError,
+    amend_sweep_points,
     build_sweep_points,
+    lease_path,
     load_results,
     resume_sweep,
     run_supervised_sweep,
+    validate_result,
 )
 
 
@@ -158,11 +167,14 @@ class TestParallelSweep:
         first = run_supervised_sweep([pts[1], pts[3]],
                                      str(tmp_path / "pre"), _sup(jobs=2))
         os.makedirs(os.path.join(run_dir, "points"))
+        # a result is only trusted together with its checksum sidecar
         for got, idx in ((0, 1), (1, 3)):
-            os.rename(
-                os.path.join(str(tmp_path / "pre"), "points",
-                             f"point-{got:04d}.json"),
-                os.path.join(run_dir, "points", f"point-{idx:04d}.json"))
+            for suffix in (".json", ".json.sha256"):
+                os.rename(
+                    os.path.join(str(tmp_path / "pre"), "points",
+                                 f"point-{got:04d}{suffix}"),
+                    os.path.join(run_dir, "points",
+                                 f"point-{idx:04d}{suffix}"))
         summary = run_supervised_sweep(pts, run_dir, _sup(jobs=4))
         assert summary["skipped"] == 2
         assert summary["completed"] == 4
@@ -175,14 +187,249 @@ class TestParallelSweep:
         pts = self._grid(n=2)
         run_dir = str(tmp_path / "run")
         run_supervised_sweep(pts[:1], run_dir, _sup(jobs=1))
-        # sweep.json only recorded one point; rewrite it with the full
-        # grid as a killed full sweep would have
-        spec = json.load(open(os.path.join(run_dir, "sweep.json")))
-        spec["points"] = pts
-        json.dump(spec, open(os.path.join(run_dir, "sweep.json"), "w"))
+        # sweep.json only recorded one point; grow it to the full grid
+        # through the sanctioned amendment path (hand-editing the file
+        # trips its integrity hash by design — see TestResumeValidation)
+        amend_sweep_points(run_dir, pts)
         summary = resume_sweep(run_dir, jobs=4)
         assert summary["skipped"] == 1
         assert summary["completed"] == 2
+
+
+class TestResumeValidation:
+    """``resume_sweep`` must refuse specs it cannot trust (satellite:
+    manifest config-hash + schema validation with clear errors)."""
+
+    def _ran(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_supervised_sweep(_points(), run_dir, _sup())
+        return run_dir
+
+    def test_hand_edited_sweep_json_refused(self, tmp_path):
+        run_dir = self._ran(tmp_path)
+        path = os.path.join(run_dir, "sweep.json")
+        spec = json.load(open(path))
+        spec["points"][0]["rate"] = 0.99
+        json.dump(spec, open(path, "w"))
+        with pytest.raises(SweepConfigError, match="integrity"):
+            resume_sweep(run_dir)
+
+    def test_truncated_sweep_json_refused(self, tmp_path):
+        run_dir = self._ran(tmp_path)
+        path = os.path.join(run_dir, "sweep.json")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(SweepConfigError, match="integrity"):
+            resume_sweep(run_dir)
+
+    def test_unsupported_schema_refused(self, tmp_path):
+        run_dir = self._ran(tmp_path)
+        path = os.path.join(run_dir, "sweep.json")
+        spec = store.read_json_self_hashed(path)
+        spec["schema"] = 1
+        store.write_json_self_hashed(path, spec)
+        with pytest.raises(SweepConfigError, match="schema"):
+            resume_sweep(run_dir)
+
+    def test_stale_config_hash_refused(self, tmp_path):
+        # intact self-hash but a config_hash that no longer matches the
+        # recorded points: the spec was swapped wholesale, refuse it
+        run_dir = self._ran(tmp_path)
+        path = os.path.join(run_dir, "sweep.json")
+        spec = store.read_json_self_hashed(path)
+        spec["points"][0]["rate"] = 0.99   # config_hash left stale
+        store.write_json_self_hashed(path, spec)
+        with pytest.raises(SweepConfigError, match="config hash"):
+            resume_sweep(run_dir)
+
+    def test_foreign_run_dir_refused(self, tmp_path):
+        # launching a *different* grid into an existing run directory
+        # must fail loudly, not silently mis-skip points
+        run_dir = self._ran(tmp_path)
+        other = _points()
+        other[0]["rate"] = 0.42
+        with pytest.raises(SweepConfigError, match="different config"):
+            run_supervised_sweep(other, run_dir, _sup())
+
+    def test_amended_spec_resumes(self, tmp_path):
+        run_dir = self._ran(tmp_path)
+        pts = _points(n_extra=1)
+        amend_sweep_points(run_dir, pts)
+        summary = resume_sweep(run_dir)
+        assert summary["skipped"] == 1      # original point still valid
+        assert summary["completed"] == 2
+
+
+class TestCorruptionResume:
+    """Resume after artifact corruption: detect, re-run, converge
+    (parametrized over serial and parallel resume)."""
+
+    def _grid(self):
+        # trace + metrics per point: the sidecar then covers artifact
+        # files as well as the result row
+        pts = build_sweep_points(["packet_vc4"], "uniform_random",
+                                 [0.1, 0.2], width=3, height=3,
+                                 slot_table_size=32, warmup=150,
+                                 measure=150, trace=True, metrics=True)
+        return pts
+
+    def _run(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        summary = run_supervised_sweep(self._grid(), run_dir, _sup())
+        assert summary["failures"] == []
+        return run_dir, [r["row"] for r in summary["results"]]
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_truncated_manifest_rebuilt(self, tmp_path, jobs):
+        run_dir, rows = self._run(tmp_path)
+        path = os.path.join(run_dir, "manifest.json")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 3])
+        summary = resume_sweep(run_dir, jobs=jobs)
+        # nothing re-ran: the per-point files still validate, and the
+        # corrupt manifest was quarantined and rebuilt from them
+        assert summary["skipped"] == 2
+        assert os.path.exists(path + ".corrupt")
+        rebuilt = store.read_json_self_hashed(path)
+        assert rebuilt["completed"] == 2
+        assert [r["row"] for r in summary["results"]] == rows
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_bitflipped_result_rerun(self, tmp_path, jobs):
+        run_dir, rows = self._run(tmp_path)
+        path = os.path.join(run_dir, "points", "point-0001.json")
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0x10
+        open(path, "wb").write(bytes(data))
+        assert validate_result(run_dir, 1)[0] is None
+        summary = resume_sweep(run_dir, jobs=jobs)
+        assert summary["skipped"] == 1      # point 0 untouched
+        assert summary["completed"] == 2    # point 1 re-ran
+        assert [r["row"] for r in summary["results"]] == rows
+        assert validate_result(run_dir, 1)[0] is not None
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_missing_trace_sidecar_rerun(self, tmp_path, jobs):
+        run_dir, rows = self._run(tmp_path)
+        os.remove(os.path.join(run_dir, "points",
+                               "point-0000.trace.jsonl"))
+        data, reason = validate_result(run_dir, 0)
+        assert data is None and "missing artifact" in reason
+        summary = resume_sweep(run_dir, jobs=jobs)
+        assert summary["skipped"] == 1
+        assert summary["completed"] == 2
+        assert [r["row"] for r in summary["results"]] == rows
+        assert os.path.exists(os.path.join(run_dir, "points",
+                                           "point-0000.trace.jsonl"))
+
+
+class _LostExitExecutor(LocalProcessExecutor):
+    """A transport that never observes worker exits (host loss): the
+    supervisor can only make progress through lease expiry."""
+
+    def poll(self, handle):
+        return WorkerStatus.LOST
+
+    def wait_any(self, handles, timeout):
+        time.sleep(min(timeout, 0.05))
+
+
+class TestLeaseExpiry:
+    def _sup(self, **kw):
+        return _sup(jobs=2, max_retries=3, lease_ttl_s=1.0,
+                    heartbeat_interval_s=0.2, **kw)
+
+    def test_sigkilled_worker_reclaimed_and_rerun(self, tmp_path):
+        """SIGKILL a real subprocess worker mid-point; its lease must
+        expire, the point re-run, and the results match a clean run."""
+        pts = _points(n_extra=1)
+        ref = run_supervised_sweep(pts, str(tmp_path / "ref"), _sup())
+
+        run_dir = str(tmp_path / "run")
+        killed = []
+
+        def killer():
+            deadline = time.time() + 30
+            while not killed and time.time() < deadline:
+                lease = store.read_json(lease_path(run_dir, 0))
+                if lease and lease.get("pid"):
+                    try:
+                        os.kill(int(lease["pid"]), signal.SIGKILL)
+                        killed.append(int(lease["pid"]))
+                    except OSError:
+                        pass
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=killer)
+        thread.start()
+        summary = run_supervised_sweep(pts, run_dir, self._sup(),
+                                       executor=_LostExitExecutor())
+        thread.join()
+        assert killed, "the killer never saw a leased worker"
+        assert summary["completed"] == 2
+        assert summary["failures"] == []
+        assert [r["row"] for r in summary["results"]] \
+            == [r["row"] for r in ref["results"]]
+        manifest = store.read_json_self_hashed(
+            os.path.join(run_dir, "manifest.json"))
+        assert manifest["points"]["0"]["attempts"] >= 2, \
+            "the killed point must have been re-executed"
+
+    def test_wedged_worker_expires(self, tmp_path):
+        """A worker that stays alive but stops heartbeating (stuck in
+        uninterruptible IO, say) is reclaimed by lease expiry alone."""
+        pts = _points()
+        pts[0]["_test_fail"] = "wedge_once"
+        summary = run_supervised_sweep(pts, str(tmp_path / "run"),
+                                       self._sup())
+        assert summary["completed"] == 1
+        assert summary["failures"] == []
+        manifest = store.read_json_self_hashed(
+            os.path.join(str(tmp_path / "run"), "manifest.json"))
+        assert manifest["points"]["0"]["attempts"] == 2
+
+    def test_lease_ttl_zero_disables_expiry(self, tmp_path):
+        # with expiry disabled the hang must fall back to the timeout
+        pts = _points()
+        pts[0]["_test_fail"] = "hang"
+        summary = run_supervised_sweep(
+            pts, str(tmp_path / "run"),
+            _sup(timeout_s=1.5, max_retries=0, lease_ttl_s=0.0,
+                 heartbeat_interval_s=0.2))
+        assert summary["failures"][0]["outcome"] == "timeout"
+
+
+class TestQuarantine:
+    def test_poison_point_quarantined_with_evidence(self, tmp_path):
+        pts = _points(n_extra=1)
+        pts[0]["_test_fail"] = "crash"
+        run_dir = str(tmp_path / "run")
+        summary = run_supervised_sweep(pts, run_dir,
+                                       _sup(max_retries=1, jobs=2))
+        failure = summary["failures"][0]
+        assert failure["outcome"] == "crash"
+        assert failure["attempts"] == 2
+        # the healthy point completed: the sweep degraded, not died
+        assert summary["completed"] == 1
+        # evidence preserved: stderr tail inline + full copy on disk
+        assert "injected crash" in failure["stderr_tail"]
+        qdir = os.path.join(run_dir, failure["quarantine_dir"])
+        assert os.path.exists(os.path.join(qdir, "stderr.txt"))
+        # the failure manifest is atomic + self-hashed like the manifest
+        failures_doc = store.read_json_self_hashed(
+            os.path.join(run_dir, "failures.json"))
+        assert failures_doc["failures"][0]["index"] == 0
+        manifest = store.read_json_self_hashed(
+            os.path.join(run_dir, "manifest.json"))
+        assert manifest["points"]["0"]["status"] == "quarantined"
+
+    def test_crash_once_recovers_on_retry(self, tmp_path):
+        pts = _points()
+        pts[0]["_test_fail"] = "crash_once"
+        summary = run_supervised_sweep(pts, str(tmp_path / "run"),
+                                       _sup(max_retries=2))
+        assert summary["completed"] == 1
+        assert summary["failures"] == []
 
 
 class TestRunnerCheckpointResume:

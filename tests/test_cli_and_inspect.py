@@ -122,6 +122,36 @@ class TestCLI:
         assert rc == 0
         assert "(1 already done)" in capsys.readouterr().out
 
+    def test_resume_rejects_corrupt_sweep_spec(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        run_dir = str(tmp_path / "run")
+        rc = main(["sweep", "neighbor", "--rates", "0.1",
+                   "--schemes", "packet_vc4", "--supervised",
+                   "--run-dir", run_dir])
+        assert rc == 0
+        capsys.readouterr()
+        import json as json_mod
+        import os
+        path = os.path.join(run_dir, "sweep.json")
+        spec = json_mod.load(open(path))
+        spec["points"][0]["rate"] = 0.9
+        json_mod.dump(spec, open(path, "w"))
+        rc = main(["resume", run_dir])
+        assert rc == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_chaos_command_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        rc = main(["chaos", "--run-dir", str(tmp_path / "c"),
+                   "--points", "2", "--cycles", "2", "--jobs", "2",
+                   "--kill-rate", "0", "--corrupt-rate", "0.5",
+                   "--diskfull-rate", "0", "--supervisor-kill-rate", "0",
+                   "--seed", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CHAOS PASS" in out
+
     def test_run_command_runs(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.1")
         rc = main(["run", "packet_vc4", "--pattern", "neighbor",

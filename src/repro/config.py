@@ -298,10 +298,18 @@ class SupervisorConfig:
             raise ValueError("heartbeat_interval_s must be > 0")
         if self.lease_ttl_s < 0:
             raise ValueError("lease_ttl_s must be >= 0 (0 = disabled)")
+        if 0 < self.lease_ttl_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                f"heartbeat_interval_s ({self.heartbeat_interval_s}) must "
+                f"be smaller than lease_ttl_s ({self.lease_ttl_s}): a "
+                f"worker that heartbeats slower than its lease TTL is "
+                f"guaranteed to be reclaimed as dead while healthy")
         if 0 < self.lease_ttl_s < 2 * self.heartbeat_interval_s:
             raise ValueError(
-                "lease_ttl_s must be at least 2x heartbeat_interval_s "
-                "(shorter TTLs would expire healthy workers)")
+                f"lease_ttl_s ({self.lease_ttl_s}) must be at least 2x "
+                f"heartbeat_interval_s ({self.heartbeat_interval_s}): one "
+                f"delayed heartbeat would otherwise expire a healthy "
+                f"worker's lease")
 
 
 @dataclass

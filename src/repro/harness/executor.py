@@ -20,9 +20,10 @@ from __future__ import annotations
 import enum
 import multiprocessing
 import multiprocessing.connection
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class WorkerStatus(enum.Enum):
@@ -45,6 +46,9 @@ class WorkSpec:
     heartbeat_path: Optional[str] = None
     heartbeat_interval_s: float = 1.0
     stderr_path: Optional[str] = None
+    #: owning job id (service layer); lets :meth:`Executor.kill_job`
+    #: terminate every worker of one job without touching the others
+    job: Optional[str] = None
     extra: Dict = field(default_factory=dict)
 
 
@@ -70,6 +74,18 @@ class Executor:
 
     def reap(self, handle) -> None:
         """Release transport resources for a finished/killed handle."""
+
+    def kill_job(self, job: str) -> int:
+        """Best-effort kill of every live worker tagged with *job*.
+
+        Returns the number of workers signalled.  The service layer
+        uses this for deadline/cancel enforcement: the supervisor loop
+        then observes the exits and (with its
+        :class:`~repro.harness.supervisor.SweepControl` cancelled)
+        finalises instead of retrying.  Transports that do not track
+        jobs may return 0 — lease expiry still reclaims the points.
+        """
+        return 0
 
     def pid(self, handle) -> Optional[int]:
         """Worker OS pid when known (used by lease files and chaos)."""
@@ -108,29 +124,66 @@ class LocalProcessExecutor(Executor):
                 self._ctx = multiprocessing.get_context("spawn")
         else:
             self._ctx = multiprocessing.get_context(context)
+        # job tag -> live handles; submit/reap may race with a service
+        # thread calling kill_job, hence the lock
+        self._jobs: Dict[str, List] = {}
+        self._jobs_lock = threading.Lock()
 
     def submit(self, spec: WorkSpec):
         proc = self._ctx.Process(target=_worker_entry, args=(spec,))
         proc.start()
+        if spec.job is not None:
+            with self._jobs_lock:
+                self._jobs.setdefault(spec.job, []).append(proc)
         return proc
 
     def poll(self, handle) -> WorkerStatus:
-        return WorkerStatus.RUNNING if handle.is_alive() \
-            else WorkerStatus.EXITED
+        try:
+            alive = handle.is_alive()
+        except ValueError:               # handle already reaped (closed)
+            alive = False
+        return WorkerStatus.RUNNING if alive else WorkerStatus.EXITED
 
     def kill(self, handle) -> None:
-        if handle.is_alive():
+        try:
+            if not handle.is_alive():
+                return
             handle.terminate()
             handle.join(5.0)
             if handle.is_alive():  # pragma: no cover - stuck in syscall
                 handle.kill()
+        except ValueError:               # already reaped: nothing to kill
+            pass
 
     def reap(self, handle) -> None:
-        handle.join()
-        handle.close()
+        with self._jobs_lock:
+            for handles in self._jobs.values():
+                if handle in handles:
+                    handles.remove(handle)
+        try:
+            handle.join()
+            handle.close()
+        except ValueError:               # second reap: already closed
+            pass
+
+    def kill_job(self, job: str) -> int:
+        with self._jobs_lock:
+            handles = list(self._jobs.get(job, []))
+        killed = 0
+        for handle in handles:
+            try:
+                if handle.is_alive():
+                    handle.kill()        # SIGKILL: deadline/cancel paths
+                    killed += 1
+            except ValueError:
+                pass
+        return killed
 
     def pid(self, handle) -> Optional[int]:
-        return handle.pid
+        try:
+            return handle.pid
+        except ValueError:  # pragma: no cover - reaped handle
+            return None
 
     def wait_any(self, handles: Sequence, timeout: float) -> None:
         sentinels = []

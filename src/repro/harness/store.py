@@ -27,6 +27,7 @@ renamed name, so the atomicity contract holds even under injection.
 
 from __future__ import annotations
 
+import binascii
 import errno
 import json
 import os
@@ -39,9 +40,18 @@ from repro.sim.checkpoint import (atomic_write_bytes, sha256_bytes,
 
 __all__ = [
     "ArtifactStore", "StoreCorruptError", "canonical_json",
-    "install_diskfull", "read_json", "sha256_bytes", "sha256_file",
-    "write_bytes_atomic", "write_json_atomic",
+    "install_diskfull", "new_token", "read_json", "sha256_bytes",
+    "sha256_file", "write_bytes_atomic", "write_json_atomic",
 ]
+
+
+def new_token(prefix: str = "", nbytes: int = 8) -> str:
+    """Unique filesystem-safe random id (job ids, temp names).
+
+    Uses ``os.urandom`` directly: ids must stay unique even when the
+    global RNG has been seeded for a deterministic campaign.
+    """
+    return prefix + binascii.hexlify(os.urandom(nbytes)).decode()
 
 
 class StoreCorruptError(RuntimeError):
@@ -117,7 +127,8 @@ def write_json_self_hashed(path: str, obj: Dict) -> str:
     return write_json_atomic(path, dict(body, **{SELF_HASH_KEY: digest}))
 
 
-def read_json_self_hashed(path: str) -> Optional[Dict]:
+def read_json_self_hashed(path: str,
+                          quarantine: bool = False) -> Optional[Dict]:
     """Read a self-hashed document.
 
     Returns the dict when present and intact, None when the file is
@@ -125,17 +136,32 @@ def read_json_self_hashed(path: str) -> Optional[Dict]:
     its embedded hash does not match (bit flip, foreign edit) or the
     hash field is absent.  Unparseable files also raise — a manifest
     that exists but cannot be trusted must never be silently used.
+
+    With ``quarantine`` set, a corrupt document is moved aside as
+    ``<path>.corrupt`` (evidence preserved) and None is returned
+    instead of raising — the shape callers want when a corrupt record
+    should be rebuilt rather than abort the operation.
     """
     if not os.path.exists(path):
         return None
     data = read_json(path)
     if data is None or not isinstance(data, dict):
-        raise StoreCorruptError(f"{path}: unparseable")
+        return _corrupt(path, f"{path}: unparseable", quarantine)
     stored = data.get(SELF_HASH_KEY)
     body = {k: v for k, v in data.items() if k != SELF_HASH_KEY}
     if stored != sha256_bytes(canonical_json(body)):
-        raise StoreCorruptError(f"{path}: self-hash mismatch")
+        return _corrupt(path, f"{path}: self-hash mismatch", quarantine)
     return data
+
+
+def _corrupt(path: str, message: str, quarantine: bool) -> None:
+    if not quarantine:
+        raise StoreCorruptError(message)
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:  # pragma: no cover - raced deletion
+        pass
+    return None
 
 
 # ---------------------------------------------------------------------------

@@ -153,17 +153,12 @@ class EquivalenceReport:
 
 
 def _reset_id_counters() -> None:
-    """Zero the module-global message/packet/connection id allocators.
-
-    Ids are part of the hashed state, so the two builds of a
-    differential pair must draw them from the same starting point —
-    exactly what a snapshot restore does via the ``ids`` sub-tree."""
-    from repro.core import circuit as _circuit_mod
-    from repro.network import flit as _flit_mod
-
-    _flit_mod._msg_ids.value = 0
-    _flit_mod._pkt_ids.value = 0
-    _circuit_mod._conn_ids.value = 0
+    """Zero the global id allocators before building a differential
+    pair — ids are part of the hashed state, so both builds must draw
+    them from the same starting point (see
+    :func:`repro.sim.checkpoint.reset_id_counters`)."""
+    from repro.sim.checkpoint import reset_id_counters
+    reset_id_counters()
 
 
 def verify_equivalence(scheme: str, pattern: str = "uniform_random",

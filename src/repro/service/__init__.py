@@ -1,0 +1,26 @@
+"""Resilient simulation-as-a-service over the supervised sweep fabric.
+
+The service layer turns the PR 6 sweep machinery into a multi-tenant
+job API with the robustness properties ARCHITECTURE.md §16 specifies:
+crash-safe job documents, idempotent submission, two-class fair-share
+scheduling with point-boundary preemption, admission control with
+backpressure, deadline/cancellation enforcement, and a graceful-drain
+shutdown protocol.  Everything is stdlib-only.
+
+Layering (transport-independent core, thin adapters):
+
+* :mod:`repro.service.jobs`   — job model, validation, persistent store
+* :mod:`repro.service.queue`  — QoS + tenant fair-share queue
+* :mod:`repro.service.core`   — scheduler, admission, enforcement
+* :mod:`repro.service.http`   — WSGI app + stdlib server with drain
+* :mod:`repro.service.client` — urllib client (CLI + chaos harness)
+"""
+
+from repro.service.core import AdmissionError, DrainingError, JobService
+from repro.service.jobs import (JobSpecError, JobStateError, JobStore,
+                                ServiceConfig, verify_job_results)
+
+__all__ = [
+    "AdmissionError", "DrainingError", "JobService", "JobSpecError",
+    "JobStateError", "JobStore", "ServiceConfig", "verify_job_results",
+]

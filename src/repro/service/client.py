@@ -1,0 +1,135 @@
+"""Stdlib (urllib) client for the job service API.
+
+Used by the ``repro submit``/``jobs``/``cancel`` CLI commands and by
+the service chaos harness.  :meth:`ServiceClient.submit` understands
+the service's backpressure dialect — it honours ``Retry-After`` on 429
+and retries connection failures with the *same idempotency key*, so a
+submission that raced a server crash is replayed, not duplicated.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.harness import store
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx API response (carries status + server message)."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: Optional[int] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client bound to one service URL."""
+
+    def __init__(self, url: str, timeout_s: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            retry_after = exc.headers.get("Retry-After")
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(
+                exc.code, message,
+                int(retry_after) if retry_after else None) from exc
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/v1/healthz")
+
+    def status(self) -> Dict:
+        return self._request("GET", "/v1/status")
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/v1/metrics")["metrics"]
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str, tenant: Optional[str] = None) -> Dict:
+        path = f"/v1/jobs/{job_id}/cancel"
+        if tenant:
+            path += f"?tenant={tenant}"
+        return self._request("POST", path)["job"]
+
+    def submit(self, body: Dict, retries: int = 0,
+               backoff_s: float = 0.5) -> Dict:
+        """Submit a job; returns ``{"job": ..., "existing": ...}``.
+
+        With *retries* > 0, 429 responses are retried after the
+        server's ``Retry-After`` hint and connection errors after
+        *backoff_s* (doubling, capped at 10 s).  The body is sent
+        verbatim each time: give it an ``idempotency_key`` and a retry
+        that raced a crash or a restart resolves to the original job.
+        """
+        if retries and not body.get("idempotency_key"):
+            body = dict(body, idempotency_key=store.new_token("auto-"))
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/v1/jobs", body)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= retries:
+                    raise
+                delay = exc.retry_after_s or backoff_s
+            except (urllib.error.URLError, OSError, TimeoutError):
+                if attempt >= retries:
+                    raise
+                delay = min(10.0, backoff_s * (2 ** attempt))
+            attempt += 1
+            time.sleep(delay)
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.5, terminal=None) -> Dict:
+        """Poll until the job reaches a terminal state (or *terminal*,
+        a custom set of states).  Connection errors are tolerated —
+        the server may be restarting — until the deadline."""
+        from repro.service.jobs import TERMINAL_STATES
+        terminal = TERMINAL_STATES if terminal is None else terminal
+        deadline = time.monotonic() + timeout_s
+        last = None
+        while time.monotonic() < deadline:
+            try:
+                last = self.job(job_id)
+                if last["state"] in terminal:
+                    return last
+            except (ServiceError, urllib.error.URLError, OSError,
+                    TimeoutError):
+                pass
+            time.sleep(poll_s)
+        raise TimeoutError(
+            f"job {job_id} not terminal after {timeout_s}s "
+            f"(last seen: {last['state'] if last else 'unreachable'})")
+
+
+def discover(data_dir: str) -> Optional[str]:
+    """The URL advertised by a server over *data_dir*, or None."""
+    from repro.service.http import endpoint_path
+    doc = store.read_json(endpoint_path(data_dir))
+    return doc.get("url") if isinstance(doc, dict) else None

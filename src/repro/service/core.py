@@ -1,0 +1,509 @@
+"""The job service core: admission, scheduling, enforcement, recovery.
+
+:class:`JobService` is the transport-independent heart of the service —
+the WSGI layer (:mod:`repro.service.http`) is a thin JSON adapter over
+it, which is what makes every behaviour testable without sockets.
+
+Responsibilities and the invariants behind the acceptance tests:
+
+* **Admission is synchronous and happens before anything persists.**
+  A submission is checked against the queue-depth bound and the
+  per-tenant quota *under the service lock, before the job document is
+  created*; rejected work raises :class:`AdmissionError` (HTTP 429 +
+  ``Retry-After``).  A job the service accepted is therefore durable —
+  accepted-then-dropped cannot happen.
+* **Idempotent submission.**  A retried request with the same
+  ``(tenant, idempotency_key)`` returns the original job, whatever
+  state it is in; a concurrent duplicate of the same work (same tenant
+  + spec hash) while the original is still queued/running returns the
+  original too.  Both indexes are rebuilt from the job documents on
+  restart, so retries across a server crash stay idempotent.
+* **QoS.**  Interactive jobs get the next free slot: the scheduler pops
+  interactive before bulk, and while an interactive job waits it asks
+  one running bulk job to yield between points
+  (:meth:`SweepControl.request_yield`) — a sweep point is never killed
+  for QoS.  The preempted bulk job is requeued at the front and resumes
+  from its validated on-disk results.
+* **Deadlines and cancellation** share one mechanism: a flag on the
+  running record plus :meth:`SweepControl.cancel` plus
+  :meth:`Executor.kill_job`.  The sweep thread observes the kill,
+  finalises the job into ``deadline_exceeded``/``cancelled``, and the
+  partial results on disk remain checksum-valid.
+* **Exactly-once terminal accounting.**  Terminal transitions go
+  through :meth:`JobStore.transition`, which refuses to leave a
+  terminal state; the sweep thread is the only writer of terminal
+  states for a running job.
+* **Crash recovery.**  On construction the service rescans the store:
+  jobs found ``running`` (the previous server died mid-flight) are
+  requeued at the front; the supervised sweep's own resume path skips
+  their validated points.  Orphan workers from the dead server write
+  deterministic bytes atomically and are harmless double-writers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.config import CheckpointConfig, SupervisorConfig
+from repro.harness.executor import Executor, LocalProcessExecutor
+from repro.harness.supervisor import SweepControl, run_supervised_sweep
+from repro.service import jobs as J
+from repro.service.jobs import JobStore, ServiceConfig
+from repro.service.queue import FairShareQueue
+
+
+class AdmissionError(Exception):
+    """Submission refused by backpressure (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class DrainingError(Exception):
+    """The service is shutting down and not admitting work (HTTP 503)."""
+
+
+@dataclasses.dataclass
+class _Running:
+    """In-memory record for one job currently occupying a slot."""
+
+    control: SweepControl
+    executor: Executor
+    thread: threading.Thread
+    qos: str
+    tenant: str
+    kill_reason: Optional[str] = None   # cancel | deadline | drain
+
+
+class JobService:
+    """See module docstring.  All public methods are thread-safe."""
+
+    def __init__(self, cfg: ServiceConfig, metrics=None) -> None:
+        self.cfg = cfg
+        self.metrics = metrics
+        self.store = JobStore(cfg.data_dir)
+        self._lock = threading.RLock()
+        self._queue = FairShareQueue()
+        self._queued: Dict[str, Dict] = {}      # id -> job doc (queued)
+        self._running: Dict[str, _Running] = {}
+        self._by_key: Dict[tuple, str] = {}     # (tenant, idem key) -> id
+        self._by_spec: Dict[tuple, str] = {}    # (tenant, spec hash) -> id,
+        #                                         queued/running jobs only
+        self._draining = False
+        self._stop = threading.Event()
+        self._idle = threading.Event()          # set when nothing runs
+        self._idle.set()
+        if metrics is not None:
+            metrics.gauge("service_queue_depth", lambda: len(self._queue))
+            metrics.gauge("service_jobs_running", lambda: len(self._running))
+        self._recover()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         daemon=True, name="svc-monitor")
+        self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # metrics helper (null-safe: zero overhead when metrics are off)
+    # ------------------------------------------------------------------
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, body: Dict) -> Dict:
+        """Admit one submission; returns ``{"job": ..., "existing": ...}``.
+
+        Raises :class:`~repro.service.jobs.JobSpecError` (400),
+        :class:`AdmissionError` (429) or :class:`DrainingError` (503).
+        Validation runs outside the lock; admission + persistence are
+        one atomic step under it.
+        """
+        spec = J.validate_request(body, self.cfg)
+        tenant = spec["tenant"]
+        shash = J.spec_hash(spec)
+        with self._lock:
+            # idempotency first: a retry of accepted work always
+            # succeeds, even while the service is draining or full
+            key = spec.get("idempotency_key")
+            if key is not None:
+                existing = self._by_key.get((tenant, key))
+                if existing is not None:
+                    self._inc("service.jobs.deduped")
+                    return {"job": self._load(existing), "existing": True}
+            active = self._by_spec.get((tenant, shash))
+            if active is not None:
+                self._inc("service.jobs.deduped")
+                return {"job": self._load(active), "existing": True}
+
+            if self._draining:
+                self._inc("service.jobs.rejected_draining")
+                raise DrainingError("service is draining; resubmit to "
+                                    "the restarted instance")
+            depth = len(self._queue)
+            if depth >= self.cfg.max_queue_depth:
+                self._inc("service.jobs.rejected_queue_full")
+                raise AdmissionError(
+                    f"queue depth {depth} at capacity "
+                    f"{self.cfg.max_queue_depth}",
+                    self._retry_after(depth))
+            held = self._tenant_load(tenant)
+            if held >= self.cfg.tenant_quota:
+                self._inc("service.jobs.rejected_tenant_quota")
+                raise AdmissionError(
+                    f"tenant {tenant} holds {held} jobs, at quota "
+                    f"{self.cfg.tenant_quota}",
+                    self._retry_after(depth))
+
+            # admitted: persist, then index — from here the job is
+            # durable and will reach a terminal state exactly once
+            job = self.store.create(spec)
+            self._enqueue(job)
+            if key is not None:
+                self._by_key[(tenant, key)] = job["id"]
+            self._by_spec[(tenant, shash)] = job["id"]
+            self._inc("service.jobs.submitted")
+            self._schedule()
+            return {"job": dict(job), "existing": False}
+
+    def _retry_after(self, depth: int) -> int:
+        # scale the hint with how far over capacity we are: a deep
+        # queue drains one slot-batch at a time
+        slots = max(1, self.cfg.slots)
+        return max(1, math.ceil(self.cfg.retry_after_s
+                                * (1 + depth / (slots * 4))))
+
+    def _tenant_load(self, tenant: str) -> int:
+        held = sum(1 for job in self._queued.values()
+                   if job["tenant"] == tenant)
+        return held + sum(1 for r in self._running.values()
+                          if r.tenant == tenant)
+
+    def _enqueue(self, job: Dict, front: bool = False) -> None:
+        self._queued[job["id"]] = job
+        self._queue.push(job["tenant"], job["qos"], job["id"], front=front)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _load(self, job_id: str) -> Optional[Dict]:
+        live = self._queued.get(job_id)
+        if live is not None:
+            return dict(live)
+        return self.store.load(job_id)
+
+    def get(self, job_id: str) -> Optional[Dict]:
+        with self._lock:
+            return self._load(job_id)
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        jobs = self.store.load_all()
+        if tenant is not None:
+            jobs = [j for j in jobs if j["tenant"] == tenant]
+        return jobs
+
+    def status(self) -> Dict:
+        with self._lock:
+            return {
+                "draining": self._draining,
+                "slots": self.cfg.slots,
+                "running": sorted(self._running),
+                "queued": self._queue.jobs(),
+                "queue_depth": len(self._queue),
+            }
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str,
+               tenant: Optional[str] = None) -> Optional[Dict]:
+        """Cancel a job; idempotent at every stage of its life.
+
+        Returns the (possibly already-terminal) job document, or None
+        when the job does not exist or belongs to a different tenant.
+        A queued job is cancelled synchronously; a running job has its
+        workers killed and finalises as ``cancelled`` asynchronously.
+        """
+        with self._lock:
+            job = self._load(job_id)
+            if job is None or (tenant is not None
+                               and job["tenant"] != tenant):
+                return None
+            if job["state"] in J.TERMINAL_STATES:
+                return job                     # idempotent no-op
+            if job["id"] in self._queued:
+                del self._queued[job["id"]]
+                self._queue.remove(job["tenant"], job["qos"], job["id"])
+                self._deactivate(job)
+                job = self.store.transition(job, J.ST_CANCELLED,
+                                            note="cancelled while queued")
+                self._inc("service.jobs.cancelled")
+                self._schedule()
+                return job
+            running = self._running.get(job_id)
+            if running is not None and running.kill_reason is None:
+                running.kill_reason = "cancel"
+                running.control.cancel()
+                running.executor.kill_job(job_id)
+            return job
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _schedule(self) -> None:
+        """Fill free slots; ask a bulk job to yield when interactive
+        work waits.  Caller holds the lock."""
+        if self._draining:
+            return          # a draining service never dispatches work
+        while len(self._running) < self.cfg.slots:
+            item = self._queue.pop()
+            if item is None:
+                break
+            _tenant, job_id = item
+            job = self._queued.pop(job_id)
+            self._start(job)
+        if self._queue.waiting(J.QOS_INTERACTIVE) > 0:
+            for running in self._running.values():
+                if running.qos == J.QOS_BULK \
+                        and not running.control.should_yield \
+                        and running.kill_reason is None:
+                    running.control.request_yield()
+                    self._inc("service.jobs.preempt_requested")
+                    break
+
+    def _start(self, job: Dict) -> None:
+        control = SweepControl()
+        executor = LocalProcessExecutor()
+        record = _Running(control=control, executor=executor,
+                          thread=None, qos=job["qos"],
+                          tenant=job["tenant"])
+        thread = threading.Thread(
+            target=self._run_job, args=(job, record),
+            daemon=True, name=f"svc-job-{job['id']}")
+        record.thread = thread
+        self._running[job["id"]] = record
+        self._idle.clear()
+        self.store.transition(job, J.ST_RUNNING)
+        thread.start()
+
+    def _sup_config(self) -> SupervisorConfig:
+        cfg = self.cfg
+        return SupervisorConfig(
+            enabled=True, jobs=cfg.sweep_jobs,
+            timeout_s=cfg.point_timeout_s, max_retries=cfg.max_retries,
+            lease_ttl_s=cfg.lease_ttl_s,
+            heartbeat_interval_s=cfg.heartbeat_interval_s)
+
+    def _run_job(self, job: Dict, record: _Running) -> None:
+        """Slot thread: drive the job's sweep, then finalise it."""
+        job_id = job["id"]
+        points = J.points_for(job["spec"])
+
+        def _progress(index, point, outcome, attempts) -> None:
+            with self._lock:
+                if job["state"] != J.ST_RUNNING:
+                    return
+                if outcome == "ok":
+                    job["progress"]["completed"] += 1
+                else:
+                    job["progress"]["failed"] += 1
+                self.store.save(job)
+
+        try:
+            summary = run_supervised_sweep(
+                points, self.store.run_dir(job_id),
+                sup=self._sup_config(), ckpt=CheckpointConfig(),
+                progress=_progress, executor=record.executor,
+                control=record.control, job=job_id)
+            error = None
+        except Exception as exc:          # infra failure, not job failure
+            summary = None
+            error = f"{type(exc).__name__}: {exc}"
+        self._finish(job, record, summary, error)
+
+    def _finish(self, job: Dict, record: _Running,
+                summary: Optional[Dict], error: Optional[str]) -> None:
+        job_id = job["id"]
+        with self._lock:
+            del self._running[job_id]
+            reason = record.kill_reason
+            if summary is not None:
+                job["progress"] = {
+                    "total": summary["total"],
+                    "completed": summary["completed"],
+                    "failed": len(summary["failures"]),
+                }
+            if reason == "cancel":
+                self.store.transition(job, J.ST_CANCELLED,
+                                      note="cancelled while running")
+                self._inc("service.jobs.cancelled")
+                self._deactivate(job)
+            elif reason == "deadline":
+                self.store.transition(
+                    job, J.ST_DEADLINE,
+                    note=f"deadline of {job['deadline_s']}s exceeded",
+                    error="DEADLINE_EXCEEDED")
+                self._inc("service.jobs.deadline_exceeded")
+                self._deactivate(job)
+            elif summary is None:
+                self.store.transition(job, J.ST_FAILED, note="supervisor "
+                                      "error", error=error)
+                self._inc("service.jobs.failed")
+                self._deactivate(job)
+            elif summary.get("stopped") in ("preempted", "cancelled"):
+                # slot yielded (QoS preemption or drain — including the
+                # drain-timeout kill escalation): back to the front of
+                # the queue with every completed point validated on disk
+                self.store.transition(job, J.ST_QUEUED,
+                                      note=f"requeued ({reason or 'preempted'})")
+                self._enqueue(job, front=True)
+                self._inc("service.jobs.preempted")
+            elif summary["failures"]:
+                failed = sorted(f["index"] for f in summary["failures"])
+                self.store.transition(
+                    job, J.ST_FAILED,
+                    note=f"{len(failed)} point(s) failed",
+                    error=f"points failed or quarantined: {failed}",
+                    result=self._result_of(summary))
+                self._inc("service.jobs.failed")
+                self._deactivate(job)
+            else:
+                self.store.transition(job, J.ST_SUCCEEDED,
+                                      result=self._result_of(summary))
+                self._inc("service.jobs.succeeded")
+                self._deactivate(job)
+            if not self._running:
+                self._idle.set()
+            if not self._stop.is_set():
+                self._schedule()
+            if self._running:
+                self._idle.clear()
+
+    @staticmethod
+    def _result_of(summary: Dict) -> Dict:
+        return {"total": summary["total"],
+                "completed": summary["completed"],
+                "skipped": summary["skipped"],
+                "failures": len(summary["failures"])}
+
+    def _deactivate(self, job: Dict) -> None:
+        """Terminal: release the tenant's active-spec dedupe slot."""
+        key = (job["tenant"], job["spec_hash"])
+        if self._by_spec.get(key) == job["id"]:
+            del self._by_spec[key]
+
+    # ------------------------------------------------------------------
+    # deadline monitor
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(0.2):
+            now = time.time()
+            with self._lock:
+                for job_id, running in list(self._running.items()):
+                    job = self._queued.get(job_id) or self.store.load(job_id)
+                    if job is None or running.kill_reason is not None:
+                        continue
+                    deadline = job.get("deadline_unix")
+                    if deadline is not None and now > deadline:
+                        running.kill_reason = "deadline"
+                        running.control.cancel()
+                        running.executor.kill_job(job_id)
+                for job_id in list(self._queued):
+                    job = self._queued[job_id]
+                    deadline = job.get("deadline_unix")
+                    if deadline is not None and now > deadline:
+                        del self._queued[job_id]
+                        self._queue.remove(job["tenant"], job["qos"],
+                                           job_id)
+                        self._deactivate(job)
+                        self.store.transition(
+                            job, J.ST_DEADLINE,
+                            note="deadline expired while queued",
+                            error="DEADLINE_EXCEEDED")
+                        self._inc("service.jobs.deadline_exceeded")
+
+    # ------------------------------------------------------------------
+    # drain (SIGTERM protocol)
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admission; ask every running sweep to yield between
+        points.  Returns immediately — pair with :meth:`drain`."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            self._inc("service.drain.begun")
+            for job_id, running in self._running.items():
+                if running.kill_reason is None:
+                    running.kill_reason = "drain"
+                    running.control.request_yield()
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until every slot is free; escalate to kill at timeout.
+
+        Running jobs finish their in-flight points and are requeued (to
+        disk) as ``queued``; a restarted service resumes them.  Returns
+        True when the service drained cleanly within the budget.
+        """
+        self.begin_drain()
+        timeout_s = (self.cfg.drain_timeout_s if timeout_s is None
+                     else timeout_s)
+        clean = self._idle.wait(timeout_s)
+        if not clean:
+            with self._lock:
+                for job_id, running in self._running.items():
+                    running.kill_reason = "drain"
+                    running.control.cancel()
+                    running.executor.kill_job(job_id)
+            # killed workers exit immediately; give the threads a
+            # bounded final window to persist the requeue transitions
+            clean = self._idle.wait(10.0)
+        self._stop.set()
+        return clean
+
+    def close(self) -> None:
+        """Hard teardown (tests): stop the monitor and scheduler, kill
+        any running jobs' workers, and wait for the slot threads.  No
+        drain semantics — use :meth:`drain` for graceful shutdown."""
+        self._stop.set()
+        with self._lock:
+            self._draining = True
+            for job_id, running in self._running.items():
+                if running.kill_reason is None:
+                    running.kill_reason = "drain"
+                running.control.cancel()
+                running.executor.kill_job(job_id)
+        self._idle.wait(10.0)
+
+    # ------------------------------------------------------------------
+    # restart recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild queue + indexes from the job documents on disk."""
+        requeued = 0
+        for job in self.store.load_all():
+            key = job.get("idempotency_key")
+            if key is not None:
+                self._by_key[(job["tenant"], key)] = job["id"]
+            if job["state"] in J.TERMINAL_STATES:
+                continue
+            self._by_spec[(job["tenant"], job["spec_hash"])] = job["id"]
+            if job["state"] == J.ST_RUNNING:
+                # the previous server died holding this slot; its
+                # validated points are skipped by the sweep resume path
+                self.store.transition(job, J.ST_QUEUED,
+                                      note="requeued after restart")
+                self._enqueue(job, front=True)
+                requeued += 1
+            elif job["state"] == J.ST_QUEUED:
+                self._enqueue(job)
+        if requeued:
+            self._inc("service.jobs.recovered")
+        with self._lock:
+            self._schedule()

@@ -1,0 +1,208 @@
+"""Stdlib-only HTTP front end for the job service (WSGI).
+
+The application (:func:`make_app`) is a plain WSGI callable over a
+:class:`~repro.service.core.JobService`, so the whole API is testable
+by calling it with hand-built ``environ`` dicts — no sockets, no
+threads.  :func:`serve` wraps it in ``wsgiref``'s threaded server with
+the SIGTERM drain protocol for production-shaped use.
+
+API (all JSON)::
+
+    POST /v1/jobs            submit  -> 201 (created) / 200 (idempotent
+                                        replay) / 400 / 429 / 503
+    GET  /v1/jobs[?tenant=]  list jobs
+    GET  /v1/jobs/<id>       one job -> 200 / 404
+    POST /v1/jobs/<id>/cancel        -> 200 / 404   (idempotent)
+    GET  /v1/status          scheduler view (slots, queue, draining)
+    GET  /v1/metrics         counter/gauge snapshot
+    GET  /v1/healthz         liveness (+ draining flag)
+
+429 and 503 responses carry ``Retry-After`` (seconds).  A draining
+server refuses new work with 503 but keeps answering reads, so clients
+can watch their jobs land in a terminal or requeued state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socketserver
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from repro.harness import store
+from repro.service.core import AdmissionError, DrainingError, JobService
+from repro.service.jobs import JobSpecError, ServiceConfig, job_public
+
+#: largest request body the service will read (64 KiB is ~100x a spec)
+MAX_BODY_BYTES = 65536
+
+_STATUS = {200: "200 OK", 201: "201 Created", 400: "400 Bad Request",
+           404: "404 Not Found", 405: "405 Method Not Allowed",
+           413: "413 Payload Too Large", 429: "429 Too Many Requests",
+           500: "500 Internal Server Error",
+           503: "503 Service Unavailable"}
+
+
+def _read_body(environ) -> Dict:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        raise JobSpecError("invalid Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise JobSpecError(f"request body over {MAX_BODY_BYTES} bytes")
+    raw = environ["wsgi.input"].read(length) if length else b""
+    if not raw:
+        raise JobSpecError("empty request body")
+    try:
+        return json.loads(raw)
+    except ValueError as exc:
+        raise JobSpecError(f"request body is not valid JSON: {exc}")
+
+
+def make_app(service: JobService):
+    """Build the WSGI application over *service*."""
+
+    def _respond(start_response, status: int, payload: Dict,
+                 headers: Optional[Dict[str, str]] = None):
+        body = json.dumps(payload, sort_keys=True).encode()
+        out = [("Content-Type", "application/json"),
+               ("Content-Length", str(len(body)))]
+        out.extend((headers or {}).items())
+        start_response(_STATUS[status], out)
+        return [body]
+
+    def _route(method: str, path: str, environ) -> Tuple[int, Dict, Dict]:
+        """Dispatch; returns (status, payload, extra headers)."""
+        parts = [p for p in path.split("/") if p]
+        if parts[:1] != ["v1"]:
+            return 404, {"error": f"no such resource: {path}"}, {}
+        parts = parts[1:]
+
+        if parts == ["healthz"] and method == "GET":
+            return 200, {"status": "ok",
+                         "draining": service.status()["draining"]}, {}
+        if parts == ["status"] and method == "GET":
+            return 200, service.status(), {}
+        if parts == ["metrics"] and method == "GET":
+            snap = (service.metrics.snapshot()
+                    if service.metrics is not None else {})
+            return 200, {"metrics": snap}, {}
+
+        if parts == ["jobs"] and method == "POST":
+            out = service.submit(_read_body(environ))
+            return (200 if out["existing"] else 201,
+                    {"job": job_public(out["job"]),
+                     "existing": out["existing"]}, {})
+        if parts == ["jobs"] and method == "GET":
+            query = parse_qs(environ.get("QUERY_STRING", ""))
+            tenant = (query.get("tenant") or [None])[0]
+            jobs = [job_public(j) for j in service.list_jobs(tenant)]
+            return 200, {"jobs": jobs}, {}
+        if len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            job = service.get(parts[1])
+            if job is None:
+                return 404, {"error": f"no such job: {parts[1]}"}, {}
+            return 200, {"job": job_public(job)}, {}
+        if len(parts) == 3 and parts[0] == "jobs" \
+                and parts[2] == "cancel" and method == "POST":
+            query = parse_qs(environ.get("QUERY_STRING", ""))
+            tenant = (query.get("tenant") or [None])[0]
+            job = service.cancel(parts[1], tenant=tenant)
+            if job is None:
+                return 404, {"error": f"no such job: {parts[1]}"}, {}
+            return 200, {"job": job_public(job)}, {}
+
+        if parts and parts[0] in ("jobs", "healthz", "status", "metrics"):
+            return 405, {"error": f"{method} not allowed on {path}"}, {}
+        return 404, {"error": f"no such resource: {path}"}, {}
+
+    def app(environ, start_response):
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        try:
+            status, payload, headers = _route(method, path, environ)
+        except JobSpecError as exc:
+            status, payload, headers = 400, {"error": str(exc)}, {}
+        except AdmissionError as exc:
+            status, payload = 429, {"error": exc.reason,
+                                    "retry_after_s": exc.retry_after_s}
+            headers = {"Retry-After": str(exc.retry_after_s)}
+        except DrainingError as exc:
+            status, payload = 503, {"error": str(exc)}
+            headers = {"Retry-After": "5"}
+        except Exception as exc:  # never leak a traceback to the client
+            status, payload, headers = 500, {
+                "error": f"internal error: {type(exc).__name__}"}, {}
+        return _respond(start_response, status, payload, headers)
+
+    return app
+
+
+class _QuietHandler(WSGIRequestHandler):
+    def log_message(self, *args) -> None:  # per-request stderr noise
+        pass
+
+
+class _ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    daemon_threads = True
+
+
+def endpoint_path(data_dir: str) -> str:
+    """Where :func:`serve` advertises its bound address."""
+    return os.path.join(data_dir, "service.json")
+
+
+def serve(cfg: ServiceConfig, host: str = "127.0.0.1", port: int = 0,
+          metrics=None, ready=None, install_signals: bool = True) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain and exit.
+
+    Binds (port 0 = ephemeral), writes ``service.json`` (url + pid)
+    into the data directory so clients and the chaos harness can find
+    the endpoint, and serves until a signal arrives.  The drain
+    protocol then runs: admission stops (503), running sweeps yield at
+    their next point boundary (escalating to kill at the drain
+    timeout), every job is persisted queued or terminal, and the
+    process exits 0.  *ready*, when given, is called with the bound
+    ``(host, port)`` once the socket is listening (test hook).
+    """
+    service = JobService(cfg, metrics=metrics)
+    httpd = make_server(host, port, make_app(service),
+                        server_class=_ThreadingWSGIServer,
+                        handler_class=_QuietHandler)
+    bound = httpd.server_address
+    store.write_json_atomic(endpoint_path(cfg.data_dir), {
+        "url": f"http://{bound[0]}:{bound[1]}",
+        "pid": os.getpid(),
+    })
+
+    stop = threading.Event()
+
+    def _drain_then_stop() -> None:
+        # keep answering reads (job status, health) while running
+        # sweeps yield; only then take the listener down
+        service.drain()
+        httpd.shutdown()
+
+    def _signalled(signum, frame) -> None:
+        if not stop.is_set():
+            stop.set()
+            service.begin_drain()
+            threading.Thread(target=_drain_then_stop,
+                             daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _signalled)
+        signal.signal(signal.SIGINT, _signalled)
+    if ready is not None:
+        ready(bound)
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    finally:
+        httpd.server_close()
+    if not stop.is_set():          # shutdown without a signal (tests)
+        service.drain()
+    return 0

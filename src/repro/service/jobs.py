@@ -1,0 +1,347 @@
+"""Job model and crash-safe job store for the simulation service.
+
+A **job** is one supervised sweep owned by a tenant: a validated spec
+(the ``build_sweep_points`` grid parameters), a QoS class, an optional
+wall-clock deadline, and a lifecycle that must survive ``kill -9`` of
+the server.  Every job is one self-hashed JSON document
+(:func:`repro.harness.store.write_json_self_hashed`) under
+``<data_dir>/jobs/<job_id>/job.json`` next to the sweep run directory
+it owns — the record and the results live together, are written
+atomically, and validate themselves on load.
+
+Lifecycle::
+
+    queued -> running -> succeeded | failed
+         \\-> cancelled | deadline_exceeded        (terminal)
+    running -> queued                              (preemption / restart
+                                                    / drain: progress on
+                                                    disk is preserved)
+
+Terminal states are **final**: :meth:`JobStore.transition` refuses to
+leave one, which is what makes "every accepted job reaches a terminal
+state exactly once" checkable — the history list records exactly one
+terminal entry, ever.
+
+Idempotent submission is two independent keys, both rebuilt from the
+documents on restart:
+
+* an explicit client **idempotency key** (any state, including
+  terminal): a retried POST returns the original job;
+* the **spec hash** (``sweep_config_hash`` of the resolved point grid)
+  deduplicates concurrent submissions of the same work by the same
+  tenant while the earlier job is still queued or running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.config import SCHEMES, CheckpointConfig
+from repro.harness import store
+from repro.harness.supervisor import (build_sweep_points, sweep_config_hash,
+                                      validate_result)
+
+#: on-disk schema of job.json documents
+JOB_SCHEMA = 1
+
+# -- QoS classes ------------------------------------------------------------
+QOS_INTERACTIVE = "interactive"
+QOS_BULK = "bulk"
+QOS_CLASSES = (QOS_INTERACTIVE, QOS_BULK)
+
+# -- job states -------------------------------------------------------------
+ST_QUEUED = "queued"
+ST_RUNNING = "running"
+ST_SUCCEEDED = "succeeded"
+ST_FAILED = "failed"
+ST_CANCELLED = "cancelled"
+ST_DEADLINE = "deadline_exceeded"
+TERMINAL_STATES = frozenset({ST_SUCCEEDED, ST_FAILED, ST_CANCELLED,
+                             ST_DEADLINE})
+
+#: traffic patterns a submission may request (mirrors
+#: :func:`repro.traffic.patterns.make_pattern`)
+PATTERNS = ("uniform_random", "tornado", "transpose", "bit_complement",
+            "bit_reverse", "shuffle", "neighbor", "hotspot")
+
+
+class JobSpecError(ValueError):
+    """A submission is malformed or out of bounds (HTTP 400)."""
+
+
+class JobStateError(RuntimeError):
+    """An illegal lifecycle transition was attempted (never valid)."""
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Service-level knobs: capacity, admission bounds, drain budget."""
+
+    data_dir: str = "service-data"
+    slots: int = 2                 #: concurrently running jobs
+    sweep_jobs: int = 1            #: worker processes per running job
+    max_queue_depth: int = 16      #: queued jobs across all tenants
+    tenant_quota: int = 8          #: queued+running jobs per tenant
+    max_points_per_job: int = 64
+    retry_after_s: float = 2.0     #: base of the Retry-After heuristic
+    drain_timeout_s: float = 30.0  #: SIGTERM -> exit budget
+    # per-point supervision of each job's sweep
+    point_timeout_s: float = 300.0
+    max_retries: int = 2
+    lease_ttl_s: float = 60.0
+    heartbeat_interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError("slots must be >= 1")
+        if self.sweep_jobs < 0:
+            raise ValueError("sweep_jobs must be >= 0 (0 = one per CPU)")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+        if self.max_points_per_job < 1:
+            raise ValueError("max_points_per_job must be >= 1")
+        if self.retry_after_s <= 0 or self.drain_timeout_s <= 0:
+            raise ValueError("retry_after_s/drain_timeout_s must be > 0")
+
+
+# ---------------------------------------------------------------------------
+# submission validation
+# ---------------------------------------------------------------------------
+_SWEEP_KEYS = {"schemes", "pattern", "rates", "seed", "width", "height",
+               "slot_table_size", "warmup", "measure"}
+_REQUEST_KEYS = {"tenant", "qos", "deadline_s", "idempotency_key", "sweep"}
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise JobSpecError(message)
+
+
+def _int_in(sweep: Dict, key: str, default: int, lo: int, hi: int) -> int:
+    value = sweep.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool)
+             and lo <= value <= hi,
+             f"sweep.{key} must be an integer in [{lo}, {hi}]")
+    return value
+
+
+def validate_request(body: Dict, cfg: ServiceConfig) -> Dict:
+    """Validate one submission; returns the normalised job spec.
+
+    Raises :class:`JobSpecError` with a client-readable message on any
+    malformed field — admission control is a separate, later gate.
+    """
+    _require(isinstance(body, dict), "request body must be a JSON object")
+    unknown = set(body) - _REQUEST_KEYS
+    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+
+    tenant = body.get("tenant")
+    _require(isinstance(tenant, str) and 0 < len(tenant) <= 64
+             and all(c.isalnum() or c in "._-" for c in tenant),
+             "tenant must be 1-64 chars of [A-Za-z0-9._-]")
+    qos = body.get("qos", QOS_BULK)
+    _require(qos in QOS_CLASSES, f"qos must be one of {QOS_CLASSES}")
+    deadline_s = body.get("deadline_s")
+    if deadline_s is not None:
+        _require(isinstance(deadline_s, (int, float))
+                 and not isinstance(deadline_s, bool) and deadline_s > 0,
+                 "deadline_s must be a positive number of seconds")
+    key = body.get("idempotency_key")
+    if key is not None:
+        _require(isinstance(key, str) and 0 < len(key) <= 128,
+                 "idempotency_key must be a 1-128 char string")
+
+    sweep = body.get("sweep")
+    _require(isinstance(sweep, dict), "sweep must be a JSON object")
+    unknown = set(sweep) - _SWEEP_KEYS
+    _require(not unknown, f"unknown sweep fields: {sorted(unknown)}")
+    schemes = sweep.get("schemes")
+    _require(isinstance(schemes, list) and schemes
+             and all(s in SCHEMES for s in schemes),
+             f"sweep.schemes must be a non-empty list from {SCHEMES}")
+    pattern = sweep.get("pattern", "uniform_random")
+    _require(pattern in PATTERNS,
+             f"sweep.pattern must be one of {PATTERNS}")
+    rates = sweep.get("rates")
+    _require(isinstance(rates, list) and rates
+             and all(isinstance(r, (int, float))
+                     and not isinstance(r, bool)
+                     and 0 < r <= 1.0 for r in rates),
+             "sweep.rates must be a non-empty list of numbers in (0, 1]")
+    spec_sweep = {
+        "schemes": list(schemes), "pattern": pattern,
+        "rates": [float(r) for r in rates],
+        "seed": _int_in(sweep, "seed", 1, 0, 2**31),
+        "width": _int_in(sweep, "width", 6, 2, 32),
+        "height": _int_in(sweep, "height", 6, 2, 32),
+        "slot_table_size": _int_in(sweep, "slot_table_size", 128, 2, 1024),
+        "warmup": _int_in(sweep, "warmup", 1500, 0, 200_000),
+        "measure": _int_in(sweep, "measure", 4000, 1, 1_000_000),
+    }
+    n_points = len(schemes) * len(rates)
+    _require(n_points <= cfg.max_points_per_job,
+             f"job resolves to {n_points} points, over the per-job cap "
+             f"of {cfg.max_points_per_job}")
+    return {"tenant": tenant, "qos": qos, "deadline_s": deadline_s,
+            "idempotency_key": key, "sweep": spec_sweep}
+
+
+def points_for(spec: Dict) -> List[Dict]:
+    """The resolved point grid for a validated job spec."""
+    sweep = spec["sweep"]
+    return build_sweep_points(
+        sweep["schemes"], sweep["pattern"], sweep["rates"],
+        seed=sweep["seed"], width=sweep["width"], height=sweep["height"],
+        slot_table_size=sweep["slot_table_size"],
+        warmup=sweep["warmup"], measure=sweep["measure"])
+
+
+def spec_hash(spec: Dict) -> str:
+    """Content hash of the work a job will run (dedupe key)."""
+    return sweep_config_hash(points_for(spec), CheckpointConfig())
+
+
+# ---------------------------------------------------------------------------
+# persistent store
+# ---------------------------------------------------------------------------
+class JobStore:
+    """One self-hashed document per job under ``<root>/jobs/``.
+
+    Every mutation goes through :meth:`save` (atomic + fsync + embedded
+    integrity hash), so a ``kill -9`` at any instant leaves either the
+    old record or the new one — never a torn file.  A corrupt document
+    found on load is quarantined as ``job.json.corrupt``; its run
+    directory (which carries its own checksums) survives untouched.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(self.jobs_root, exist_ok=True)
+
+    @property
+    def jobs_root(self) -> str:
+        return os.path.join(self.root, "jobs")
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_root, job_id)
+
+    def job_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "job.json")
+
+    def run_dir(self, job_id: str) -> str:
+        """The supervised-sweep run directory owned by *job_id*."""
+        return os.path.join(self.job_dir(job_id), "run")
+
+    # ------------------------------------------------------------------
+    def create(self, spec: Dict, now: Optional[float] = None) -> Dict:
+        """Persist and return a fresh queued job for a validated spec."""
+        now = time.time() if now is None else now
+        job_id = store.new_token("job-")
+        deadline_s = spec.get("deadline_s")
+        job = {
+            "schema": JOB_SCHEMA,
+            "id": job_id,
+            "tenant": spec["tenant"],
+            "qos": spec["qos"],
+            "state": ST_QUEUED,
+            "spec": {"sweep": dict(spec["sweep"])},
+            "spec_hash": spec_hash(spec),
+            "idempotency_key": spec.get("idempotency_key"),
+            "deadline_s": deadline_s,
+            "deadline_unix": (now + deadline_s) if deadline_s else None,
+            "submitted_unix": now,
+            "started_unix": None,
+            "finished_unix": None,
+            "attempts": 0,
+            "progress": {"total": len(points_for(spec)),
+                         "completed": 0, "failed": 0},
+            "history": [{"state": ST_QUEUED, "unix": now}],
+            "run_dir": os.path.abspath(self.run_dir(job_id)),
+            "result": None,
+            "error": None,
+        }
+        self.save(job)
+        return job
+
+    def save(self, job: Dict) -> None:
+        store.write_json_self_hashed(self.job_path(job["id"]), job)
+
+    def load(self, job_id: str) -> Optional[Dict]:
+        return store.read_json_self_hashed(self.job_path(job_id),
+                                           quarantine=True)
+
+    def load_all(self) -> List[Dict]:
+        """Every intact job document, oldest submission first."""
+        jobs = []
+        try:
+            names = sorted(os.listdir(self.jobs_root))
+        except OSError:
+            return []
+        for name in names:
+            job = self.load(name)
+            if job is not None and job.get("schema") == JOB_SCHEMA:
+                jobs.append(job)
+        jobs.sort(key=lambda j: (j.get("submitted_unix") or 0, j["id"]))
+        return jobs
+
+    # ------------------------------------------------------------------
+    def transition(self, job: Dict, state: str, note: Optional[str] = None,
+                   **fields) -> Dict:
+        """Move *job* to *state*, persist, and return it.
+
+        Terminal states are one-way: any attempt to leave one raises
+        :class:`JobStateError` — the guard behind the exactly-once
+        terminal accounting the chaos harness asserts.
+        """
+        if job["state"] in TERMINAL_STATES:
+            raise JobStateError(
+                f"job {job['id']} is already terminal "
+                f"({job['state']}); refusing transition to {state}")
+        now = time.time()
+        job["state"] = state
+        entry = {"state": state, "unix": now}
+        if note:
+            entry["note"] = note
+        job["history"].append(entry)
+        if state == ST_RUNNING:
+            job["attempts"] += 1
+            if job["started_unix"] is None:
+                job["started_unix"] = now
+        if state in TERMINAL_STATES:
+            job["finished_unix"] = now
+        job.update(fields)
+        self.save(job)
+        return job
+
+
+def verify_job_results(job: Dict) -> List[str]:
+    """Checksum-validate a completed job's on-disk results.
+
+    Returns human-readable problems (empty = clean).  Needs local
+    access to the service data directory; used by ``repro jobs
+    --verify`` and the service chaos harness.
+    """
+    problems: List[str] = []
+    points = points_for(job["spec"])
+    run_dir = job["run_dir"]
+    for index, point in enumerate(points):
+        data, reason = validate_result(run_dir, index, point)
+        if data is None:
+            problems.append(f"point {index}: {reason}")
+    return problems
+
+
+def job_public(job: Dict) -> Dict:
+    """The API-facing view of a job document (no integrity hash)."""
+    return {k: v for k, v in job.items() if k != store.SELF_HASH_KEY}
+
+
+def terminal_entries(job: Dict) -> List[Dict]:
+    """History entries that are terminal states (chaos: exactly one)."""
+    return [h for h in job.get("history", [])
+            if h.get("state") in TERMINAL_STATES]

@@ -1,0 +1,115 @@
+"""Two-class fair-share scheduling queue for the job service.
+
+Ordering rules, in priority order:
+
+1. **QoS class**: every queued *interactive* job is offered a slot
+   before any *bulk* job.  Combined with the scheduler asking a running
+   bulk sweep to yield (:meth:`~repro.harness.supervisor.SweepControl
+   .request_yield`) whenever an interactive job waits, an interactive
+   submission gets the *next free slot* — without ever interrupting a
+   sweep point mid-flight.
+2. **Tenant fair share**: within a class, tenants are served
+   round-robin (one job per turn, rotating), so a tenant that bulk-
+   submits 50 jobs cannot starve a tenant with one.
+3. **FIFO per tenant**, except jobs re-queued after preemption or a
+   server restart go to the *front* of their tenant's line: partially
+   complete work resumes before fresh work starts.
+
+The queue holds job ids only — job state lives in the
+:class:`~repro.service.jobs.JobStore` documents.  It is not itself
+thread-safe; :class:`~repro.service.core.JobService` serialises access
+under its own lock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.service.jobs import QOS_BULK, QOS_INTERACTIVE
+
+
+class _ClassQueue:
+    """Round-robin over per-tenant FIFO deques for one QoS class."""
+
+    def __init__(self) -> None:
+        # insertion-ordered: rotation walks tenants in a stable cycle
+        self._tenants: "OrderedDict[str, Deque[str]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._tenants.values())
+
+    def push(self, tenant: str, job_id: str, front: bool = False) -> None:
+        queue = self._tenants.get(tenant)
+        if queue is None:
+            queue = self._tenants[tenant] = deque()
+        if front:
+            queue.appendleft(job_id)
+        else:
+            queue.append(job_id)
+
+    def pop(self) -> Optional[Tuple[str, str]]:
+        """Take ``(tenant, job_id)`` from the next tenant in rotation."""
+        if not self._tenants:
+            return None
+        tenant, queue = next(iter(self._tenants.items()))
+        job_id = queue.popleft()
+        # move the served tenant to the back of the rotation; drop it
+        # entirely once empty so rotation never spins on empty deques
+        del self._tenants[tenant]
+        if queue:
+            self._tenants[tenant] = queue
+        return tenant, job_id
+
+    def remove(self, tenant: str, job_id: str) -> bool:
+        queue = self._tenants.get(tenant)
+        if not queue:
+            return False
+        try:
+            queue.remove(job_id)
+        except ValueError:
+            return False
+        if not queue:
+            del self._tenants[tenant]
+        return True
+
+    def jobs(self) -> List[str]:
+        out: List[str] = []
+        for queue in self._tenants.values():
+            out.extend(queue)
+        return out
+
+
+class FairShareQueue:
+    """The service's admission queue: two :class:`_ClassQueue` tiers."""
+
+    def __init__(self) -> None:
+        self._classes = {QOS_INTERACTIVE: _ClassQueue(),
+                         QOS_BULK: _ClassQueue()}
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._classes.values())
+
+    def push(self, tenant: str, qos: str, job_id: str,
+             front: bool = False) -> None:
+        self._classes[qos].push(tenant, job_id, front)
+
+    def pop(self) -> Optional[Tuple[str, str]]:
+        """Next ``(tenant, job_id)`` to run — interactive first."""
+        for qos in (QOS_INTERACTIVE, QOS_BULK):
+            item = self._classes[qos].pop() if self._classes[qos] else None
+            if item is not None:
+                return item
+        return None
+
+    def remove(self, tenant: str, qos: str, job_id: str) -> bool:
+        """Drop a specific queued job (cancellation before it ran)."""
+        return self._classes[qos].remove(tenant, job_id)
+
+    def waiting(self, qos: str) -> int:
+        return len(self._classes[qos])
+
+    def jobs(self) -> List[str]:
+        """Queued job ids in scheduling-class order (debug/status)."""
+        return (self._classes[QOS_INTERACTIVE].jobs()
+                + self._classes[QOS_BULK].jobs())

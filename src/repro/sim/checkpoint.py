@@ -170,6 +170,25 @@ def _freeze(tree: Dict) -> Dict:
         raise SnapshotError(f"state tree is not picklable: {exc}") from exc
 
 
+def reset_id_counters() -> None:
+    """Zero the module-global message/packet/connection id allocators.
+
+    The allocators are captured into every snapshot (the ``ids``
+    sub-tree above), so they are part of the canonical state hash.  A
+    run that wants a *reproducible* hash must therefore start them from
+    a known point — otherwise the hash encodes how many objects the
+    hosting process happened to allocate before the run, and the same
+    simulation hashes differently in a fresh interpreter than in a
+    long-lived one (or in a fork of it).
+    """
+    from repro.core import circuit as _circuit_mod
+    from repro.network import flit as _flit_mod
+
+    _flit_mod._msg_ids.value = 0
+    _flit_mod._pkt_ids.value = 0
+    _circuit_mod._conn_ids.value = 0
+
+
 # ---------------------------------------------------------------------------
 # canonical state hash
 # ---------------------------------------------------------------------------

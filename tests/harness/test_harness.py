@@ -67,6 +67,24 @@ class TestRunner:
     def test_default_rates_ascending(self):
         assert list(DEFAULT_RATES) == sorted(DEFAULT_RATES)
 
+    def test_state_hash_independent_of_process_history(self):
+        """The canonical state hash must be a function of the run, not
+        of how many objects this process allocated before it: a forked
+        worker and a fresh interpreter have to agree on it (the service
+        chaos campaign compares exactly those two)."""
+        kw = dict(width=3, height=3, slot_table_size=32,
+                  warmup=150, measure=250, seed=1,
+                  with_state_hash=True)
+        first = run_synthetic("packet_vc4", "uniform_random", 0.1, **kw)
+        # pollute the global allocators as a long test session would
+        from repro.network.flit import Message, MessageClass
+        for _ in range(1000):
+            Message(0, 1, MessageClass.DATA, 1, 0)
+        second = run_synthetic("packet_vc4", "uniform_random", 0.1, **kw)
+        assert first.state_hash
+        assert first.state_hash == second.state_hash
+        assert first.messages_delivered == second.messages_delivered
+
 
 class TestLivelockSurvival:
     """A livelocked point degrades to a failed SynthRun, never an abort."""

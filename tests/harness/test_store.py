@@ -120,6 +120,29 @@ class TestArtifactStore:
         assert set(art.fsck([good, bad, missing])) == {bad, missing}
         assert art.fsck() == [bad]       # full scan finds the rot too
 
+    def test_fsck_missing_objects_dir_is_clean(self, tmp_path):
+        """A store that never ingested anything has no objects/ — a
+        full-scan fsck on it is an empty report, not a crash."""
+        art = store.ArtifactStore(str(tmp_path / "never-used"))
+        assert art.fsck() == []
+        # ...but an explicit expectation against it still fails loudly
+        assert art.fsck(["a" * 64]) == ["a" * 64]
+
+    def test_fsck_empty_objects_dir_is_clean(self, tmp_path):
+        art = store.ArtifactStore(str(tmp_path / "store"))
+        os.makedirs(os.path.join(art.root, "objects"))
+        assert art.fsck() == []
+
+    def test_fsck_ignores_stray_files_in_objects_dir(self, tmp_path):
+        """Temp droppings at the fan-out level (not inside an <aa>/
+        bucket) are not objects and must not appear in the report."""
+        art = store.ArtifactStore(str(tmp_path / "store"))
+        good = art.put_bytes(b"good")
+        objdir = os.path.join(art.root, "objects")
+        open(os.path.join(objdir, "stray.tmp"), "wb").write(b"x")
+        assert art.fsck() == []
+        assert art.verify(good)
+
 
 class TestDiskFullHook:
     def teardown_method(self):

@@ -1,0 +1,165 @@
+"""Job model: validation, crash-safe store, terminal write-once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import store
+from repro.service import jobs as J
+from repro.service.jobs import (JobSpecError, JobStateError, JobStore,
+                                ServiceConfig)
+
+
+def _cfg(**kw):
+    kw.setdefault("data_dir", "unused")
+    return ServiceConfig(**kw)
+
+
+def _body(**overrides):
+    body = {
+        "tenant": "acme",
+        "qos": "bulk",
+        "sweep": {"schemes": ["packet_vc4"], "rates": [0.1, 0.2],
+                  "width": 3, "height": 3, "slot_table_size": 32,
+                  "warmup": 100, "measure": 200},
+    }
+    body.update(overrides)
+    return body
+
+
+class TestServiceConfig:
+    def test_rejects_nonpositive_bounds(self):
+        for field in ("slots", "max_queue_depth", "tenant_quota",
+                      "max_points_per_job"):
+            with pytest.raises(ValueError):
+                _cfg(**{field: 0})
+
+    def test_defaults_are_valid(self):
+        _cfg()
+
+
+class TestValidateRequest:
+    def test_valid_body_normalises(self):
+        spec = J.validate_request(_body(), _cfg())
+        assert spec["tenant"] == "acme"
+        assert spec["qos"] == "bulk"
+        assert spec["sweep"]["rates"] == [0.1, 0.2]
+        assert spec["sweep"]["seed"] == 1          # default filled in
+
+    @pytest.mark.parametrize("mutate", [
+        {"tenant": ""},
+        {"tenant": "bad tenant!"},
+        {"tenant": 7},
+        {"qos": "platinum"},
+        {"deadline_s": -1},
+        {"deadline_s": "soon"},
+        {"idempotency_key": ""},
+        {"unknown_field": 1},
+    ])
+    def test_rejects_bad_request_fields(self, mutate):
+        with pytest.raises(JobSpecError):
+            J.validate_request(_body(**mutate), _cfg())
+
+    @pytest.mark.parametrize("sweep_mutate", [
+        {"schemes": []},
+        {"schemes": ["warp_drive"]},
+        {"pattern": "vortex"},
+        {"rates": []},
+        {"rates": [0.0]},
+        {"rates": [1.5]},
+        {"rates": [True]},
+        {"width": 1},
+        {"measure": 0},
+        {"warp": 9},
+    ])
+    def test_rejects_bad_sweep_fields(self, sweep_mutate):
+        body = _body()
+        body["sweep"].update(sweep_mutate)
+        with pytest.raises(JobSpecError):
+            J.validate_request(body, _cfg())
+
+    def test_rejects_oversized_point_grid(self):
+        body = _body()
+        body["sweep"]["rates"] = [i / 100 for i in range(1, 20)]
+        with pytest.raises(JobSpecError, match="cap"):
+            J.validate_request(body, _cfg(max_points_per_job=10))
+
+    def test_spec_hash_ignores_request_metadata(self):
+        """The dedupe key covers the *work*, not who asked for it."""
+        a = J.validate_request(_body(), _cfg())
+        b = J.validate_request(
+            _body(tenant="other", qos="interactive",
+                  idempotency_key="k1", deadline_s=60), _cfg())
+        assert J.spec_hash(a) == J.spec_hash(b)
+
+    def test_spec_hash_tracks_the_grid(self):
+        a = J.validate_request(_body(), _cfg())
+        body = _body()
+        body["sweep"]["rates"] = [0.1, 0.3]
+        b = J.validate_request(body, _cfg())
+        assert J.spec_hash(a) != J.spec_hash(b)
+
+
+class TestJobStore:
+    def _spec(self):
+        return J.validate_request(_body(), _cfg())
+
+    def test_create_persists_self_hashed_document(self, tmp_path):
+        jstore = JobStore(str(tmp_path))
+        job = jstore.create(self._spec())
+        loaded = store.read_json_self_hashed(jstore.job_path(job["id"]))
+        assert loaded["state"] == J.ST_QUEUED
+        assert loaded["progress"]["total"] == 2
+        assert loaded["spec_hash"] == job["spec_hash"]
+
+    def test_corrupt_document_is_quarantined_not_loaded(self, tmp_path):
+        jstore = JobStore(str(tmp_path))
+        job = jstore.create(self._spec())
+        path = jstore.job_path(job["id"])
+        with open(path, "a") as fh:
+            fh.write("tamper")
+        assert jstore.load(job["id"]) is None
+        assert (tmp_path / "jobs" / job["id"]
+                / "job.json.corrupt").exists()
+
+    def test_load_all_orders_by_submission(self, tmp_path):
+        jstore = JobStore(str(tmp_path))
+        first = jstore.create(self._spec(), now=100.0)
+        second = jstore.create(self._spec(), now=200.0)
+        assert [j["id"] for j in jstore.load_all()] \
+            == [first["id"], second["id"]]
+
+    def test_transition_records_history(self, tmp_path):
+        jstore = JobStore(str(tmp_path))
+        job = jstore.create(self._spec())
+        jstore.transition(job, J.ST_RUNNING)
+        jstore.transition(job, J.ST_SUCCEEDED, result={"total": 2})
+        assert job["attempts"] == 1
+        assert job["started_unix"] is not None
+        assert job["finished_unix"] is not None
+        states = [h["state"] for h in job["history"]]
+        assert states == [J.ST_QUEUED, J.ST_RUNNING, J.ST_SUCCEEDED]
+        assert len(J.terminal_entries(job)) == 1
+
+    def test_terminal_states_are_write_once(self, tmp_path):
+        """The guard behind exactly-once terminal accounting: once a
+        job lands in any terminal state, every further transition is
+        refused."""
+        jstore = JobStore(str(tmp_path))
+        for terminal in sorted(J.TERMINAL_STATES):
+            job = jstore.create(self._spec())
+            jstore.transition(job, terminal)
+            for state in (J.ST_QUEUED, J.ST_RUNNING, J.ST_SUCCEEDED,
+                          J.ST_CANCELLED):
+                with pytest.raises(JobStateError):
+                    jstore.transition(job, state)
+            assert len(J.terminal_entries(job)) == 1
+
+    def test_preemption_roundtrip_is_legal(self, tmp_path):
+        jstore = JobStore(str(tmp_path))
+        job = jstore.create(self._spec())
+        jstore.transition(job, J.ST_RUNNING)
+        jstore.transition(job, J.ST_QUEUED, note="preempted")
+        jstore.transition(job, J.ST_RUNNING)
+        assert job["attempts"] == 2
+        assert len(J.terminal_entries(job)) == 0

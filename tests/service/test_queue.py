@@ -1,0 +1,92 @@
+"""Fair-share queue: QoS ordering, tenant rotation, front requeue."""
+
+from __future__ import annotations
+
+from repro.service.queue import FairShareQueue
+
+
+def drain(q):
+    out = []
+    while True:
+        item = q.pop()
+        if item is None:
+            return out
+        out.append(item)
+
+
+class TestQoSOrdering:
+    def test_interactive_always_before_bulk(self):
+        q = FairShareQueue()
+        q.push("a", "bulk", "b1")
+        q.push("a", "interactive", "i1")
+        q.push("b", "bulk", "b2")
+        q.push("b", "interactive", "i2")
+        order = [job for _, job in drain(q)]
+        assert order[:2] == ["i1", "i2"]
+        assert set(order[2:]) == {"b1", "b2"}
+
+    def test_waiting_counts_per_class(self):
+        q = FairShareQueue()
+        q.push("a", "bulk", "b1")
+        q.push("a", "interactive", "i1")
+        assert q.waiting("interactive") == 1
+        assert q.waiting("bulk") == 1
+        assert len(q) == 2
+
+
+class TestTenantFairness:
+    def test_round_robin_between_tenants(self):
+        """A tenant with many queued jobs cannot starve a tenant with
+        one: service alternates tenants within a class."""
+        q = FairShareQueue()
+        for i in range(3):
+            q.push("hog", "bulk", f"hog-{i}")
+        q.push("small", "bulk", "small-0")
+        order = [job for _, job in drain(q)]
+        # small's single job is served second, not fourth
+        assert order.index("small-0") == 1
+
+    def test_rotation_is_stable_cycle(self):
+        q = FairShareQueue()
+        for tenant in ("a", "b", "c"):
+            for i in range(2):
+                q.push(tenant, "bulk", f"{tenant}{i}")
+        order = [job for _, job in drain(q)]
+        assert order == ["a0", "b0", "c0", "a1", "b1", "c1"]
+
+    def test_empty_tenant_leaves_rotation(self):
+        q = FairShareQueue()
+        q.push("a", "bulk", "a0")
+        q.push("b", "bulk", "b0")
+        q.push("b", "bulk", "b1")
+        assert q.pop() == ("a", "a0")
+        assert [job for _, job in drain(q)] == ["b0", "b1"]
+
+
+class TestRequeueAndRemove:
+    def test_front_push_resumes_before_fresh_work(self):
+        """A preempted/restarted job re-enters at the front of its
+        tenant's line, ahead of jobs submitted later."""
+        q = FairShareQueue()
+        q.push("a", "bulk", "fresh-1")
+        q.push("a", "bulk", "fresh-2")
+        q.push("a", "bulk", "resumed", front=True)
+        assert q.pop() == ("a", "resumed")
+
+    def test_remove_queued_job(self):
+        q = FairShareQueue()
+        q.push("a", "bulk", "x")
+        q.push("a", "bulk", "y")
+        assert q.remove("a", "bulk", "x") is True
+        assert q.remove("a", "bulk", "x") is False   # idempotent
+        assert [job for _, job in drain(q)] == ["y"]
+
+    def test_remove_unknown_tenant_is_false(self):
+        q = FairShareQueue()
+        assert q.remove("ghost", "bulk", "x") is False
+
+    def test_jobs_listing_orders_interactive_first(self):
+        q = FairShareQueue()
+        q.push("a", "bulk", "b1")
+        q.push("a", "interactive", "i1")
+        assert q.jobs() == ["i1", "b1"]

@@ -1,0 +1,405 @@
+"""Job service end-to-end: scheduling, enforcement, backpressure, drain.
+
+Everything here drives the real :class:`JobService` (real worker
+subprocesses, real checksummed results) either directly or through the
+WSGI application with hand-built ``environ`` dicts — no sockets, so the
+tests are hermetic and fast.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (AdmissionError, DrainingError, JobService,
+                           JobSpecError, ServiceConfig, verify_job_results)
+from repro.service import jobs as J
+from repro.service.http import make_app
+from repro.service.jobs import JobStore
+
+#: ~0.2 s per point including process spawn (3x3 mesh at 20k cyc/s)
+FAST_SWEEP = {"schemes": ["packet_vc4"], "pattern": "uniform_random",
+              "width": 3, "height": 3, "slot_table_size": 32,
+              "warmup": 100, "measure": 200}
+#: one point that runs for several seconds — a slot blocker
+SLOW_SWEEP = dict(FAST_SWEEP, warmup=500, measure=60000)
+
+
+def _body(tenant="acme", qos="bulk", rates=(0.1,), sweep=None, **extra):
+    body = {"tenant": tenant, "qos": qos,
+            "sweep": dict(sweep or FAST_SWEEP, rates=list(rates))}
+    body.update(extra)
+    return body
+
+
+def _service(tmp_path, **kw):
+    kw.setdefault("data_dir", str(tmp_path / "svc"))
+    kw.setdefault("slots", 1)
+    kw.setdefault("sweep_jobs", 1)
+    kw.setdefault("point_timeout_s", 60.0)
+    kw.setdefault("lease_ttl_s", 30.0)
+    return JobService(ServiceConfig(**kw), metrics=MetricsRegistry())
+
+
+def _wait_state(svc, job_id, states, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = svc.get(job_id)
+        if job["state"] in states:
+            return job
+        time.sleep(0.05)
+    raise AssertionError(
+        f"job {job_id} never reached {states}; stuck in {job['state']}")
+
+
+def _wait_terminal(svc, job_id, timeout_s=60.0):
+    return _wait_state(svc, job_id, J.TERMINAL_STATES, timeout_s)
+
+
+class TestLifecycle:
+    def test_submit_runs_to_success_with_verified_results(self, tmp_path):
+        svc = _service(tmp_path)
+        try:
+            out = svc.submit(_body(rates=[0.1, 0.2]))
+            assert out["existing"] is False
+            job = _wait_terminal(svc, out["job"]["id"])
+            assert job["state"] == J.ST_SUCCEEDED
+            assert job["progress"] == {"total": 2, "completed": 2,
+                                       "failed": 0}
+            assert job["result"]["completed"] == 2
+            assert verify_job_results(job) == []
+            assert len(J.terminal_entries(job)) == 1
+        finally:
+            svc.close()
+
+    def test_submission_is_validated_before_admission(self, tmp_path):
+        svc = _service(tmp_path)
+        try:
+            with pytest.raises(JobSpecError):
+                svc.submit(_body(tenant="///"))
+            assert svc.list_jobs() == []       # nothing persisted
+        finally:
+            svc.close()
+
+    def test_idempotency_key_replays_original_job(self, tmp_path):
+        svc = _service(tmp_path)
+        try:
+            first = svc.submit(_body(idempotency_key="k1"))
+            again = svc.submit(_body(idempotency_key="k1"))
+            assert again["existing"] is True
+            assert again["job"]["id"] == first["job"]["id"]
+            _wait_terminal(svc, first["job"]["id"])
+            # still idempotent after the job is terminal
+            done = svc.submit(_body(idempotency_key="k1"))
+            assert done["existing"] is True
+            assert done["job"]["id"] == first["job"]["id"]
+        finally:
+            svc.close()
+
+    def test_same_work_same_tenant_dedupes_while_active(self, tmp_path):
+        svc = _service(tmp_path)
+        try:
+            first = svc.submit(_body(sweep=SLOW_SWEEP))
+            dup = svc.submit(_body(sweep=SLOW_SWEEP))
+            assert dup["existing"] is True
+            assert dup["job"]["id"] == first["job"]["id"]
+            # a *different* tenant's identical work is a separate job
+            other = svc.submit(_body(tenant="other", sweep=SLOW_SWEEP))
+            assert other["existing"] is False
+            svc.cancel(first["job"]["id"])
+            svc.cancel(other["job"]["id"])
+        finally:
+            svc.close()
+
+
+class TestAdmissionControl:
+    def test_queue_depth_bound_rejects_with_retry_after(self, tmp_path):
+        svc = _service(tmp_path, max_queue_depth=2, tenant_quota=16)
+        try:
+            svc.submit(_body(sweep=SLOW_SWEEP))          # occupies the slot
+            svc.submit(_body(rates=[0.2]))
+            svc.submit(_body(rates=[0.3]))
+            with pytest.raises(AdmissionError) as err:
+                svc.submit(_body(rates=[0.4]))
+            assert err.value.retry_after_s >= 1
+            assert "queue depth" in str(err.value)
+            # rejected work was never persisted: accepted-then-dropped
+            # cannot happen
+            assert len(svc.list_jobs()) == 3
+        finally:
+            svc.close()
+
+    def test_tenant_quota_rejects_but_other_tenants_admitted(self, tmp_path):
+        svc = _service(tmp_path, max_queue_depth=16, tenant_quota=2)
+        try:
+            svc.submit(_body(sweep=SLOW_SWEEP))
+            svc.submit(_body(rates=[0.2]))
+            with pytest.raises(AdmissionError, match="quota"):
+                svc.submit(_body(rates=[0.3]))
+            out = svc.submit(_body(tenant="other", rates=[0.3]))
+            assert out["existing"] is False
+        finally:
+            svc.close()
+
+    def test_metrics_track_queue_and_rejections(self, tmp_path):
+        svc = _service(tmp_path, max_queue_depth=1, tenant_quota=16)
+        try:
+            svc.submit(_body(sweep=SLOW_SWEEP))
+            svc.submit(_body(rates=[0.2]))
+            with pytest.raises(AdmissionError):
+                svc.submit(_body(rates=[0.3]))
+            snap = svc.metrics.snapshot()
+            assert snap["service.jobs.submitted"] == 2
+            assert snap["service.jobs.rejected_queue_full"] == 1
+            assert snap["service_queue_depth"] == 1
+            assert snap["service_jobs_running"] == 1
+        finally:
+            svc.close()
+
+
+class TestQoSPreemption:
+    def test_interactive_preempts_bulk_between_points(self, tmp_path):
+        """The QoS acceptance scenario: with one slot held by a long
+        bulk sweep, an interactive submission starts before the bulk
+        job's remaining points — and the bulk job still completes with
+        clean results afterwards."""
+        svc = _service(tmp_path, slots=1, max_queue_depth=8)
+        try:
+            bulk = svc.submit(_body(
+                qos="bulk", rates=[0.05, 0.1, 0.15, 0.2, 0.25, 0.3],
+                sweep=dict(FAST_SWEEP, warmup=200, measure=2000),
+            ))["job"]
+            _wait_state(svc, bulk["id"], {J.ST_RUNNING})
+            inter = svc.submit(_body(
+                tenant="urgent", qos="interactive", rates=[0.1]))["job"]
+            done = _wait_terminal(svc, inter["id"])
+            assert done["state"] == J.ST_SUCCEEDED
+            # the bulk job was preempted mid-grid, not killed mid-point,
+            # and not allowed to finish ahead of the interactive job
+            bulk_then = svc.get(bulk["id"])
+            assert bulk_then["state"] in (J.ST_QUEUED, J.ST_RUNNING)
+            history = [h["state"] for h in bulk_then["history"]]
+            assert history.count(J.ST_QUEUED) >= 2   # requeued at least once
+            bulk_done = _wait_terminal(svc, bulk["id"], timeout_s=120.0)
+            assert bulk_done["state"] == J.ST_SUCCEEDED
+            assert bulk_done["progress"]["completed"] == 6
+            assert verify_job_results(bulk_done) == []
+            assert len(J.terminal_entries(bulk_done)) == 1
+        finally:
+            svc.close()
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_synchronous(self, tmp_path):
+        svc = _service(tmp_path, slots=1)
+        try:
+            svc.submit(_body(sweep=SLOW_SWEEP))
+            queued = svc.submit(_body(rates=[0.2]))["job"]
+            cancelled = svc.cancel(queued["id"])
+            assert cancelled["state"] == J.ST_CANCELLED
+            # idempotent: cancelling again returns the terminal job
+            assert svc.cancel(queued["id"])["state"] == J.ST_CANCELLED
+        finally:
+            svc.close()
+
+    def test_cancel_running_job_kills_workers(self, tmp_path):
+        svc = _service(tmp_path, slots=1)
+        try:
+            job = svc.submit(_body(sweep=SLOW_SWEEP))["job"]
+            _wait_state(svc, job["id"], {J.ST_RUNNING})
+            t0 = time.monotonic()
+            svc.cancel(job["id"])
+            done = _wait_terminal(svc, job["id"])
+            assert done["state"] == J.ST_CANCELLED
+            # the worker was killed, not waited out (the point takes
+            # several seconds)
+            assert time.monotonic() - t0 < 5.0
+            assert len(J.terminal_entries(done)) == 1
+        finally:
+            svc.close()
+
+    def test_cancel_respects_tenant_ownership(self, tmp_path):
+        svc = _service(tmp_path, slots=1)
+        try:
+            job = svc.submit(_body(sweep=SLOW_SWEEP))["job"]
+            assert svc.cancel(job["id"], tenant="intruder") is None
+            assert svc.cancel("job-nonexistent") is None
+            svc.cancel(job["id"], tenant="acme")
+        finally:
+            svc.close()
+
+
+class TestDeadlines:
+    def test_running_job_killed_at_deadline(self, tmp_path):
+        svc = _service(tmp_path, slots=1)
+        try:
+            job = svc.submit(_body(sweep=SLOW_SWEEP, deadline_s=1.0))["job"]
+            done = _wait_terminal(svc, job["id"], timeout_s=30.0)
+            assert done["state"] == J.ST_DEADLINE
+            assert done["error"] == "DEADLINE_EXCEEDED"
+            assert len(J.terminal_entries(done)) == 1
+        finally:
+            svc.close()
+
+    def test_queued_job_expires_at_deadline(self, tmp_path):
+        svc = _service(tmp_path, slots=1)
+        try:
+            svc.submit(_body(sweep=SLOW_SWEEP))          # blocks the slot
+            queued = svc.submit(_body(rates=[0.2], deadline_s=0.5))["job"]
+            done = _wait_terminal(svc, queued["id"], timeout_s=30.0)
+            assert done["state"] == J.ST_DEADLINE
+        finally:
+            svc.close()
+
+
+class TestDrainAndRecovery:
+    def test_drain_stops_admission_and_requeues_running(self, tmp_path):
+        svc = _service(tmp_path, slots=1)
+        job = svc.submit(_body(
+            rates=[0.05, 0.1, 0.15, 0.2, 0.25, 0.3],
+            sweep=dict(FAST_SWEEP, warmup=200, measure=2000)))["job"]
+        _wait_state(svc, job["id"], {J.ST_RUNNING})
+        assert svc.drain(timeout_s=60.0) is True
+        with pytest.raises(DrainingError):
+            svc.submit(_body(tenant="late", rates=[0.4]))
+        on_disk = JobStore(svc.cfg.data_dir).load(job["id"])
+        assert on_disk["state"] in (J.ST_QUEUED, J.ST_SUCCEEDED)
+
+        # a restarted service re-attaches and finishes the job
+        svc2 = _service(tmp_path)
+        try:
+            done = _wait_terminal(svc2, job["id"], timeout_s=120.0)
+            assert done["state"] == J.ST_SUCCEEDED
+            assert done["progress"]["completed"] == 6
+            assert verify_job_results(done) == []
+            assert len(J.terminal_entries(done)) == 1
+        finally:
+            svc2.close()
+
+    def test_recovery_requeues_job_found_running(self, tmp_path):
+        """A job document left in ``running`` (server died mid-flight)
+        is requeued on construction and runs to success."""
+        data_dir = str(tmp_path / "svc")
+        jstore = JobStore(data_dir)
+        spec = J.validate_request(_body(rates=[0.1, 0.2]),
+                                  ServiceConfig(data_dir=data_dir))
+        job = jstore.create(spec)
+        jstore.transition(job, J.ST_RUNNING)
+        svc = JobService(ServiceConfig(data_dir=data_dir, slots=1,
+                                       sweep_jobs=1))
+        try:
+            done = _wait_terminal(svc, job["id"])
+            assert done["state"] == J.ST_SUCCEEDED
+            history = [h["state"] for h in done["history"]]
+            assert history.count(J.ST_QUEUED) == 2   # initial + requeue
+            assert len(J.terminal_entries(done)) == 1
+        finally:
+            svc.close()
+
+    def test_recovery_rebuilds_idempotency_index(self, tmp_path):
+        svc = _service(tmp_path)
+        job = svc.submit(_body(idempotency_key="k9"))["job"]
+        _wait_terminal(svc, job["id"])
+        svc.close()
+        svc2 = _service(tmp_path)
+        try:
+            again = svc2.submit(_body(idempotency_key="k9"))
+            assert again["existing"] is True
+            assert again["job"]["id"] == job["id"]
+        finally:
+            svc2.close()
+
+
+# ---------------------------------------------------------------------------
+# WSGI layer
+# ---------------------------------------------------------------------------
+class _App:
+    """Socket-free driver for the WSGI application."""
+
+    def __init__(self, service):
+        self.app = make_app(service)
+
+    def request(self, method, path, body=None, query=""):
+        raw = json.dumps(body).encode() if body is not None else b""
+        environ = {"REQUEST_METHOD": method, "PATH_INFO": path,
+                   "QUERY_STRING": query,
+                   "CONTENT_LENGTH": str(len(raw)),
+                   "wsgi.input": io.BytesIO(raw)}
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+            captured["headers"] = dict(headers)
+
+        payload = b"".join(self.app(environ, start_response))
+        captured["body"] = json.loads(payload)
+        return captured
+
+
+class TestHTTPApi:
+    @pytest.fixture
+    def svc(self, tmp_path):
+        service = _service(tmp_path, max_queue_depth=2, tenant_quota=16)
+        yield service
+        service.close()
+
+    def test_submit_poll_cancel_roundtrip(self, svc):
+        app = _App(svc)
+        r = app.request("POST", "/v1/jobs", _body(sweep=SLOW_SWEEP))
+        assert r["status"] == 201
+        job_id = r["body"]["job"]["id"]
+        assert app.request("GET", f"/v1/jobs/{job_id}")["status"] == 200
+        r = app.request("POST", f"/v1/jobs/{job_id}/cancel",
+                        query="tenant=acme")
+        assert r["status"] == 200
+        r = app.request("GET", "/v1/jobs", query="tenant=acme")
+        assert [j["id"] for j in r["body"]["jobs"]] == [job_id]
+
+    def test_replayed_submit_returns_200_not_201(self, svc):
+        app = _App(svc)
+        body = _body(sweep=SLOW_SWEEP, idempotency_key="kk")
+        assert app.request("POST", "/v1/jobs", body)["status"] == 201
+        r = app.request("POST", "/v1/jobs", body)
+        assert r["status"] == 200
+        assert r["body"]["existing"] is True
+        svc.cancel(r["body"]["job"]["id"])
+
+    def test_bad_request_maps_to_400(self, svc):
+        app = _App(svc)
+        r = app.request("POST", "/v1/jobs", {"tenant": "x"})
+        assert r["status"] == 400
+        assert "sweep" in r["body"]["error"]
+
+    def test_backpressure_maps_to_429_with_retry_after(self, svc):
+        app = _App(svc)
+        app.request("POST", "/v1/jobs", _body(sweep=SLOW_SWEEP))
+        app.request("POST", "/v1/jobs", _body(rates=[0.2]))
+        app.request("POST", "/v1/jobs", _body(rates=[0.3]))
+        r = app.request("POST", "/v1/jobs", _body(rates=[0.4]))
+        assert r["status"] == 429
+        assert int(r["headers"]["Retry-After"]) >= 1
+
+    def test_draining_maps_to_503(self, svc):
+        svc.begin_drain()
+        r = _App(svc).request("POST", "/v1/jobs", _body(rates=[0.4]))
+        assert r["status"] == 503
+        assert "Retry-After" in r["headers"]
+
+    def test_unknown_routes_and_methods(self, svc):
+        app = _App(svc)
+        assert app.request("GET", "/v2/jobs")["status"] == 404
+        assert app.request("GET", "/v1/nope")["status"] == 404
+        assert app.request("DELETE", "/v1/jobs")["status"] == 405
+        assert app.request("GET", "/v1/jobs/job-missing")["status"] == 404
+
+    def test_health_status_and_metrics_endpoints(self, svc):
+        app = _App(svc)
+        assert app.request("GET", "/v1/healthz")["body"]["status"] == "ok"
+        status = app.request("GET", "/v1/status")["body"]
+        assert status["slots"] == 1
+        metrics = app.request("GET", "/v1/metrics")["body"]["metrics"]
+        assert "service_queue_depth" in metrics

@@ -207,3 +207,108 @@ class TestCLI:
         metrics = tmp_path / "obs" / "packet_vc4-neighbor-0.1.metrics.json"
         assert metrics.exists()
         assert json.load(open(metrics))["samples"]
+
+
+class TestSweepDryRun:
+    def test_dry_run_prints_points_and_runs_nothing(self, tmp_path,
+                                                    capsys):
+        run_dir = str(tmp_path / "run")
+        rc = main(["sweep", "neighbor", "--rates", "0.1,0.2",
+                   "--schemes", "packet_vc4", "--supervised",
+                   "--run-dir", run_dir, "--dry-run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Dry run: resolved sweep points" in out
+        assert "2 point(s)" in out
+        assert "sweep config hash" in out
+        assert "dry run: nothing executed" in out
+        import os
+        assert not os.path.exists(run_dir)
+
+    def test_dry_run_hash_matches_real_run(self, tmp_path, capsys,
+                                           monkeypatch):
+        """The printed config hash must equal what a real supervised
+        run records — otherwise the dry run lies about resumability."""
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        rc = main(["sweep", "neighbor", "--rates", "0.1",
+                   "--schemes", "packet_vc4", "--dry-run"])
+        assert rc == 0
+        printed = [line for line in capsys.readouterr().out.splitlines()
+                   if "sweep config hash" in line][0].split()[-1]
+        run_dir = str(tmp_path / "run")
+        rc = main(["sweep", "neighbor", "--rates", "0.1",
+                   "--schemes", "packet_vc4", "--supervised",
+                   "--run-dir", run_dir])
+        assert rc == 0
+        capsys.readouterr()
+        from repro.harness import store as hstore
+        doc = hstore.read_json_self_hashed(f"{run_dir}/sweep.json")
+        assert doc["config_hash"] == printed
+
+    def test_dry_run_rejects_unknown_pattern(self, capsys):
+        rc = main(["sweep", "vortex", "--dry-run"])
+        assert rc == 2
+        assert "unknown pattern" in capsys.readouterr().err
+
+    def test_dry_run_rejects_bad_supervisor_config(self, tmp_path,
+                                                   capsys):
+        rc = main(["sweep", "neighbor", "--supervised",
+                   "--run-dir", str(tmp_path / "run"),
+                   "--lease-ttl", "1", "--heartbeat-interval", "5",
+                   "--dry-run"])
+        assert rc == 2
+        assert "heartbeat" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """One uniform exit-code table across every command (README)."""
+
+    def test_classification_table(self):
+        import urllib.error
+
+        from repro.cli import (EXIT_CONFIG, EXIT_TRANSIENT,
+                               _classify_exit)
+        from repro.harness.supervisor import SweepConfigError
+        from repro.service.client import ServiceError
+        from repro.service.jobs import JobSpecError
+
+        assert _classify_exit(SweepConfigError("x")) == EXIT_CONFIG
+        assert _classify_exit(JobSpecError("x")) == EXIT_CONFIG
+        assert _classify_exit(ServiceError(400, "bad")) == EXIT_CONFIG
+        assert _classify_exit(ServiceError(429, "slow down")) \
+            == EXIT_TRANSIENT
+        assert _classify_exit(ServiceError(503, "draining")) \
+            == EXIT_TRANSIENT
+        assert _classify_exit(ServiceError(500, "boom")) \
+            == EXIT_TRANSIENT
+        assert _classify_exit(ConnectionRefusedError()) == EXIT_TRANSIENT
+        assert _classify_exit(urllib.error.URLError("down")) \
+            == EXIT_TRANSIENT
+        assert _classify_exit(ValueError("bug")) is None
+
+    def test_interrupt_maps_to_130(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_sweep", boom)
+        assert cli.main(["sweep"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_unreachable_service_is_transient(self, capsys):
+        rc = main(["jobs", "--url", "http://127.0.0.1:9/"])
+        assert rc == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_genuine_bug_propagates(self, monkeypatch):
+        import repro.cli as cli
+
+        def boom(args):
+            raise RuntimeError("bug, not an exit code")
+
+        monkeypatch.setattr(cli, "cmd_sweep", boom)
+        with pytest.raises(RuntimeError):
+            cli.main(["sweep"])

@@ -12,6 +12,7 @@ from repro.config import (
     SCHEMES,
     SDMConfig,
     SlotTableConfig,
+    SupervisorConfig,
     VCGatingConfig,
     config_as_dict,
     scheme_config,
@@ -147,3 +148,28 @@ class TestValidation:
         cfg = NetworkConfig()
         cfg2 = dataclasses.replace(cfg, width=8)
         assert cfg2.width == 8 and cfg.width == 6
+
+
+class TestSupervisorConfigValidation:
+    def test_heartbeat_slower_than_lease_rejected(self):
+        """A worker heartbeating slower than its lease TTL would be
+        reclaimed as dead while healthy — refuse at construction, not
+        mid-sweep."""
+        with pytest.raises(ValueError, match="heartbeat_interval_s"):
+            SupervisorConfig(lease_ttl_s=1.0, heartbeat_interval_s=1.0)
+        with pytest.raises(ValueError, match="heartbeat_interval_s"):
+            SupervisorConfig(lease_ttl_s=1.0, heartbeat_interval_s=5.0)
+
+    def test_lease_needs_two_heartbeats_of_slack(self):
+        with pytest.raises(ValueError, match="at least 2x"):
+            SupervisorConfig(lease_ttl_s=1.5, heartbeat_interval_s=1.0)
+        SupervisorConfig(lease_ttl_s=2.0, heartbeat_interval_s=1.0)
+
+    def test_lease_zero_disables_the_coupling(self):
+        SupervisorConfig(lease_ttl_s=0.0, heartbeat_interval_s=60.0)
+
+    def test_nonpositive_heartbeat_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(heartbeat_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(lease_ttl_s=-1.0)

@@ -181,7 +181,7 @@ def cmd_sweep(args) -> int:
     rows = []
     for scheme in schemes:
         for r in load_latency_sweep(scheme, args.pattern, rates=rates,
-                                    seed=args.seed):
+                                    seed=args.seed, engine=args.engine):
             rows.append((scheme, r.offered, r.accepted, r.avg_latency,
                          r.p99_latency, r.cs_fraction))
     _emit(("scheme", "offered", "accepted", "avg_lat", "p99", "cs_frac"),
@@ -268,7 +268,8 @@ def _dry_run_sweep(args, schemes, rates) -> int:
                                 seed=args.seed,
                                 trace=bool(args.trace),
                                 metrics=bool(args.metrics),
-                                metrics_interval=args.metrics_interval)
+                                metrics_interval=args.metrics_interval,
+                                engine=args.engine)
     rows = [(i, p["scheme"], p["pattern"], p["rate"],
              point_spec_hash(p)[:16]) for i, p in enumerate(points)]
     print(format_table(("index", "scheme", "pattern", "rate", "spec_hash"),
@@ -315,7 +316,8 @@ def _supervised_sweep(args, schemes, rates) -> int:
                                 seed=args.seed,
                                 trace=bool(args.trace),
                                 metrics=bool(args.metrics),
-                                metrics_interval=args.metrics_interval)
+                                metrics_interval=args.metrics_interval,
+                                engine=args.engine)
 
     def progress(index, point, outcome, attempts):
         print(f"[{index + 1}/{len(points)}] {point['scheme']} "
@@ -539,6 +541,7 @@ def cmd_verify_replay(args) -> int:
 def cmd_verify_equivalence(args) -> int:
     from repro.harness.verify import verify_equivalence
 
+    engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
     failed = False
     for scheme in args.schemes.split(","):
         report = verify_equivalence(
@@ -546,11 +549,12 @@ def cmd_verify_equivalence(args) -> int:
             cycles=args.cycles, interval=args.interval, seed=args.seed,
             width=args.width, height=args.height,
             slot_table_size=args.slot_table_size,
-            stop_cycle=args.stop_cycle)
+            stop_cycle=args.stop_cycle, engines=engines)
         verdict = "PASS" if report.ok else "FAIL"
+        finals = " ".join(f"{name}={report.final_hashes[name][:16]}"
+                          for name in report.engines)
         print(f"{verdict} {scheme}: {report.checkpoints} checkpoints, "
-              f"final legacy={report.hash_final_legacy[:16]} "
-              f"fast={report.hash_final_fast[:16]}")
+              f"final {finals}")
         for mismatch in report.mismatches:
             print(f"    {mismatch}")
         failed = failed or not report.ok
@@ -565,12 +569,23 @@ def cmd_bench(args) -> int:
                                      write_bench_json)
 
     report = run_bench(repeats=args.repeats, seed=args.seed)
-    rows = [(r["scenario"], r["legacy_cps"], r["fast_cps"], r["ratio"],
-             r["target_ratio"], "PASS" if r["ok"] else "FAIL")
+    rows = [(r["scenario"], r["legacy_cps"], r["fast_cps"], r["batch_cps"],
+             r["ratio"], r["batch_ratio"],
+             f"{r['target_ratio']}/{r['batch_target']}",
+             "PASS" if r["ok"] else "FAIL")
             for r in report["scenarios"]]
     print(format_table(
-        ("scenario", "legacy_cps", "fast_cps", "ratio", "target", "ok"),
+        ("scenario", "legacy_cps", "fast_cps", "batch_cps", "fast_x",
+         "batch_x", "targets", "ok"),
         rows, title=f"Engine throughput (best of {args.repeats})"))
+    if not args.no_replicas:
+        from repro.harness.bench import time_replica_throughput
+        rep_fig = time_replica_throughput(seed=args.seed)
+        report["replicas"] = rep_fig
+        print(f"\nbatched replicas: {rep_fig['replicas']} seeds x "
+              f"{rep_fig['cycles_per_replica']} cycles: "
+              f"{rep_fig['batched_wall_seconds']}s wall "
+              f"({rep_fig['batched_cps']} cycles/s aggregate)")
     if not args.no_sweep:
         sweep_fig = time_supervised_sweep(jobs=args.jobs, seed=args.seed)
         report["sweep"] = sweep_fig
@@ -758,6 +773,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rates", default="0.05,0.15,0.25,0.35,0.45")
     p.add_argument("--schemes",
                    default="packet_vc4,hybrid_tdm_vc4,hybrid_tdm_vct")
+    p.add_argument("--engine", default=None,
+                   choices=("legacy", "fast", "batch"),
+                   help="pin every point to one scheduler (default: "
+                        "the worker's process default)")
     p.add_argument("--supervised", action="store_true",
                    help="run each point in a supervised subprocess with "
                         "timeout/retry and a failure manifest")
@@ -937,7 +956,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_verify_replay)
 
     p = sub.add_parser("verify-equivalence",
-                       help="verify fast-engine/legacy-engine equivalence")
+                       help="verify N-way engine equivalence "
+                            "(legacy/fast/batch by default)")
+    p.add_argument("--engines", default="legacy,fast,batch",
+                   help="comma-separated engines to compare; the first "
+                        "is the baseline the others are diffed against")
     p.add_argument("--schemes",
                    default="packet_vc4,hybrid_sdm_vc4,hybrid_tdm_vc4,"
                            "hybrid_tdm_vct,hybrid_tdm_hop_vc4,"
@@ -957,14 +980,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_verify_equivalence)
 
     p = sub.add_parser("bench",
-                       help="engine cycles/sec benchmark (legacy vs fast)")
+                       help="engine cycles/sec benchmark "
+                            "(legacy vs fast vs batch)")
     p.add_argument("--repeats", type=int, default=5,
                    help="interleaved timing repeats; best run kept")
     p.add_argument("--json", default="BENCH_simperf.json",
                    help="output path for the machine-readable report")
     p.add_argument("--baseline", default=None,
                    help="committed BENCH_simperf.json to regress "
-                        "fast-engine throughput against")
+                        "fast/batch-engine throughput against")
+    p.add_argument("--no-replicas", action="store_true",
+                   help="skip the batched-replica throughput figure")
     p.add_argument("--tolerance", type=float, default=0.02,
                    help="allowed slowdown vs the baseline; values >= 1 "
                         "are read as a percentage (10 means 10%%)")
@@ -987,7 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop traffic here so the drain/sleep path "
                         "shows up; pass -1 to never stop")
     p.add_argument("--engine", default="fast",
-                   choices=("legacy", "fast"))
+                   choices=("legacy", "fast", "batch"))
     p.add_argument("--width", type=int, default=4)
     p.add_argument("--height", type=int, default=4)
     p.add_argument("--sort", default="cumulative",

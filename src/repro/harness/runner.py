@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.config import NetworkConfig, scheme_config
 from repro.energy import EnergyParams, EnergyReport, compute_energy
 from repro.network.network import Network, build_network
-from repro.sim.kernel import LivelockError, Simulator
+from repro.sim.kernel import LivelockError, Simulator, default_engine
 from repro.traffic import attach_synthetic_sources, make_pattern
 
 
@@ -72,7 +72,7 @@ def prepare_synthetic(scheme: str, pattern: str, rate: float,
                       seed: int = 1, width: int = 6, height: int = 6,
                       slot_table_size: int = 128,
                       cfg: Optional[NetworkConfig] = None,
-                      engine: str = "fast",
+                      engine: Optional[str] = None,
                       ) -> Tuple[Simulator, Network, list]:
     """Build the (sim, net, sources) triple for one synthetic run.
 
@@ -81,9 +81,14 @@ def prepare_synthetic(scheme: str, pattern: str, rate: float,
     synthetic workload — including the replay verifier — must go through
     here (construction order matters: fault planning and traffic
     attachment draw from the seeded generator).  ``engine`` selects the
-    scheduler ("fast" activity-tracked vs "legacy" run-everything); both
-    produce identical state trajectories (see ``verify_equivalence``).
+    scheduler ("fast" activity-tracked, "legacy" run-everything,
+    "batch" compiled fast-forward); None means
+    :func:`~repro.sim.kernel.default_engine` (the ``REPRO_ENGINE``
+    override, else "fast").  All engines produce identical state
+    trajectories (see ``verify_equivalence``).
     """
+    if engine is None:
+        engine = default_engine()
     if cfg is None:
         cfg = scheme_config(scheme, width=width, height=height,
                             slot_table_size=slot_table_size)
@@ -104,7 +109,8 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
                   checkpoint_dir: Optional[str] = None,
                   checkpoint_cycles: int = 0,
                   observability=None,
-                  with_state_hash: bool = False) -> SynthRun:
+                  with_state_hash: bool = False,
+                  engine: Optional[str] = None) -> SynthRun:
     """One (scheme, pattern, rate) simulation with warmup + measurement.
 
     With ``checkpoint_dir`` set (and ``checkpoint_cycles > 0``), the run
@@ -129,7 +135,7 @@ def run_synthetic(scheme: str, pattern: str, rate: float,
                             slot_table_size=slot_table_size)
     sim, net, _sources = prepare_synthetic(
         scheme, pattern, rate, seed=seed, width=width, height=height,
-        slot_table_size=slot_table_size, cfg=cfg)
+        slot_table_size=slot_table_size, cfg=cfg, engine=engine)
     if observability is not None:
         observability.attach(sim, net)
 

@@ -112,17 +112,22 @@ def build_sweep_points(schemes: Sequence[str], pattern: str,
                        measure: int = 4000,
                        trace: bool = False,
                        metrics: bool = False,
-                       metrics_interval: int = 100) -> List[Dict]:
+                       metrics_interval: int = 100,
+                       engine: Optional[str] = None) -> List[Dict]:
     """The (scheme x rate) grid as plain-dict point specs.
 
     With ``trace``/``metrics`` set, every point's worker writes a
     structured trace (JSONL + Chrome format) and/or a metrics
     time-series dump next to its result file (same ``point-NNNN``
     stem, ``.trace.jsonl`` / ``.trace.chrome.json`` / ``.metrics.json``
-    suffixes)."""
+    suffixes).  ``engine`` pins every point to one scheduler
+    ("legacy"/"fast"/"batch"); None lets the worker use the process
+    default."""
     point = {"warmup": warmup, "measure": measure, "seed": seed,
              "width": width, "height": height,
              "slot_table_size": slot_table_size}
+    if engine is not None:
+        point["engine"] = engine
     if trace:
         point["trace"] = True
     if metrics:
@@ -330,6 +335,7 @@ def _worker_main(point: Dict, out_path: str,
             seed=point.get("seed", 1),
             width=point.get("width", 6), height=point.get("height", 6),
             slot_table_size=point.get("slot_table_size", 128),
+            engine=point.get("engine"),
             checkpoint_dir=ckpt_dir, checkpoint_cycles=checkpoint_cycles,
             observability=obs, with_state_hash=True)
         row = _run_to_row(run)

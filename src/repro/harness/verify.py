@@ -17,19 +17,25 @@ component drew randomness outside ``Simulator.rng``) and fails loudly —
 ``repro verify-replay`` runs this in CI.
 
 :func:`verify_equivalence` extends the same exact-oracle idea to the
-activity-tracked fast engine (see :mod:`repro.sim.kernel`): two builds
-of the identical workload — one per engine — run in lockstep, and every
-``interval`` cycles both must produce the same canonical ``state_hash``
-and stats fingerprint.  The fast engine's component-skipping is thereby
-gated by bit-exact equality against the run-everything scheduler rather
-than eyeballed figures; ``repro verify-equivalence`` runs this in CI.
+optimised schedulers (see :mod:`repro.sim.kernel`): N builds of the
+identical workload — one per engine, ``("legacy", "fast", "batch")`` by
+default — run in lockstep, and every ``interval`` cycles each must
+produce the same canonical ``state_hash`` and stats fingerprint as the
+baseline (first) engine.  The fast engine's component-skipping and the
+batch engine's compiled fast-forward are thereby gated by bit-exact
+equality against the run-everything scheduler rather than eyeballed
+figures; ``repro verify-equivalence`` runs this three-way in CI.  On
+divergence the report localises the first divergent checkpoint and
+names the engines that broke from the baseline
+(:func:`compare_engine_runs` is the pure comparison core).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
 
+from repro.config import FaultConfig, scheme_config
 from repro.harness.runner import prepare_synthetic
 from repro.sim.checkpoint import capture_state, restore_state, state_hash
 from repro.sim.kernel import LivelockError
@@ -134,9 +140,21 @@ def verify_replay(scheme: str, pattern: str = "transpose",
 # ---------------------------------------------------------------------------
 # differential engine equivalence
 # ---------------------------------------------------------------------------
+#: engines compared by default: the run-everything oracle first (it is
+#: the baseline every other engine is diffed against), then both
+#: optimised schedulers
+DEFAULT_ENGINES: Tuple[str, ...] = ("legacy", "fast", "batch")
+
+
 @dataclass
 class EquivalenceReport:
-    """Outcome of one legacy-vs-fast differential run."""
+    """Outcome of one N-way differential run.
+
+    The first engine in :attr:`engines` is the baseline; every other
+    engine's per-checkpoint hashes and stats fingerprints are compared
+    against it.  :attr:`final_hashes` maps engine name to its end-state
+    hash; :attr:`divergent_engines` names the engines that differed
+    from the baseline at the first divergent checkpoint."""
 
     scheme: str
     pattern: str
@@ -144,12 +162,71 @@ class EquivalenceReport:
     cycles: int
     interval: int
     seed: int
+    engines: Tuple[str, ...]
     ok: bool
     checkpoints: int                 #: checkpoints compared
     first_divergence: int            #: cycle of first mismatch (-1 if none)
-    hash_final_legacy: str
-    hash_final_fast: str
+    final_hashes: Dict[str, str]
+    divergent_engines: List[str] = field(default_factory=list)
     mismatches: List[str] = field(default_factory=list)
+
+    # Back-compat accessors from the two-engine report format (the
+    # original fields assumed exactly ("legacy", "fast")); older
+    # callers and the CLI table keep working against N-way reports.
+    @property
+    def hash_final_legacy(self) -> str:
+        return self.final_hashes.get("legacy", "")
+
+    @property
+    def hash_final_fast(self) -> str:
+        return self.final_hashes.get("fast", "")
+
+
+def compare_engine_runs(engines: Sequence[str],
+                        hashes: Dict[str, List[str]],
+                        fingerprints: Dict[str, List[Dict]],
+                        interval: int, cycles: int,
+                        ) -> Tuple[int, List[str], List[str]]:
+    """Diff per-checkpoint observations of N engines against the first.
+
+    Pure comparison (no simulation): *hashes* and *fingerprints* map
+    engine name to per-checkpoint lists, all the same length.  Returns
+    ``(first_divergence_cycle, divergent_engines, mismatch_messages)``
+    with ``first_divergence_cycle == -1`` when every engine matches the
+    baseline everywhere.  Comparison stops at the first divergent
+    checkpoint (later checkpoints of an already-divergent trajectory
+    carry no extra localisation information)."""
+    if len(engines) < 2:
+        raise ValueError("need at least two engines to compare")
+    baseline = engines[0]
+    n = len(hashes[baseline])
+    for name in engines:
+        if len(hashes[name]) != n or len(fingerprints[name]) != n:
+            raise ValueError(
+                f"engine {name!r} produced {len(hashes[name])} checkpoints, "
+                f"baseline {baseline!r} produced {n}")
+    mismatches: List[str] = []
+    divergent: List[str] = []
+    for i in range(n):
+        done = min((i + 1) * interval, cycles)
+        base_hash = hashes[baseline][i]
+        base_fp = fingerprints[baseline][i]
+        for name in engines[1:]:
+            if hashes[name][i] == base_hash:
+                continue
+            divergent.append(name)
+            mismatches.append(
+                f"state hash at cycle {done}: {baseline} "
+                f"{base_hash[:16]} != {name} {hashes[name][i][:16]}")
+            fp = fingerprints[name][i]
+            for key in base_fp:
+                if base_fp[key] != fp[key]:
+                    mismatches.append(
+                        f"stats {key} at cycle {done} ({name}): "
+                        f"{base_fp[key]!r} != {fp[key]!r}")
+        if divergent:
+            return done, divergent, mismatches
+    return -1, [], []
 
 
 def _reset_id_counters() -> None:
@@ -166,20 +243,36 @@ def verify_equivalence(scheme: str, pattern: str = "uniform_random",
                        interval: int = 100, seed: int = 1,
                        width: int = 4, height: int = 4,
                        slot_table_size: int = 32,
-                       stop_cycle: int | None = None) -> EquivalenceReport:
-    """Run one workload under both engines, compare state at checkpoints.
+                       stop_cycle: int | None = None,
+                       engines: Sequence[str] = DEFAULT_ENGINES,
+                       faults: Dict | None = None) -> EquivalenceReport:
+    """Run one workload under N engines, compare state at checkpoints.
 
-    Both runs are built through :func:`prepare_synthetic` from the same
+    Every run is built through :func:`prepare_synthetic` from the same
     seed (with the global id allocators reset before each build) and
     advanced ``interval`` cycles at a time; at every checkpoint the
-    canonical state hash and the stats fingerprint must agree exactly.
-    ``stop_cycle``, when set, stops the traffic sources mid-run so the
-    drain/quiescent path — where the fast engine actually sleeps
-    components — is exercised, not just the saturated path."""
+    canonical state hash and the stats fingerprint must agree exactly
+    with the first (baseline) engine's.  ``stop_cycle``, when set,
+    stops the traffic sources mid-run so the drain/quiescent path —
+    where the fast engine sleeps components and the batch engine
+    fast-forwards — is exercised, not just the saturated path.
+    ``faults``, when set, is a dict of
+    :class:`~repro.config.FaultConfig` field overrides enabling the
+    fault-injection subsystem for every engine (which makes the
+    optimised engines fall back to run-everything scheduling — the
+    differential check then guards exactly that fallback)."""
     if interval < 1:
         raise ValueError("interval must be >= 1")
-    build = dict(seed=seed, width=width, height=height,
-                 slot_table_size=slot_table_size)
+    engines = tuple(engines)
+    if len(engines) < 2:
+        raise ValueError("need at least two engines to compare")
+    for name in engines:
+        if engines.count(name) > 1:
+            raise ValueError(f"duplicate engine {name!r}")
+    cfg = scheme_config(scheme, width=width, height=height,
+                        slot_table_size=slot_table_size)
+    if faults is not None:
+        cfg = replace(cfg, faults=FaultConfig(enabled=True, **faults))
 
     # The runs execute SEQUENTIALLY, not interleaved: the id allocators
     # are module globals, so two simultaneously-live runs would draw
@@ -188,7 +281,10 @@ def verify_equivalence(scheme: str, pattern: str = "uniform_random",
     def _run(engine: str):
         _reset_id_counters()
         sim, net, sources = prepare_synthetic(scheme, pattern, rate,
-                                              engine=engine, **build)
+                                              engine=engine, seed=seed,
+                                              width=width, height=height,
+                                              slot_table_size=slot_table_size,
+                                              cfg=cfg)
         if stop_cycle is not None:
             for src in sources:
                 src.stop_cycle = stop_cycle
@@ -208,36 +304,22 @@ def verify_equivalence(scheme: str, pattern: str = "uniform_random",
             fps.append(_stats_fingerprint(sim, net))
         return hashes, fps
 
-    hashes_l, fps_l = _run("legacy")
-    hashes_f, fps_f = _run("fast")
+    all_hashes: Dict[str, List[str]] = {}
+    all_fps: Dict[str, List[Dict]] = {}
+    for engine in engines:
+        all_hashes[engine], all_fps[engine] = _run(engine)
 
-    mismatches: List[str] = []
-    first_divergence = -1
-    checkpoints = len(hashes_l)
-    h_legacy = hashes_l[-1] if hashes_l else ""
-    h_fast = hashes_f[-1] if hashes_f else ""
-    done = 0
-    for i, (hl, hf) in enumerate(zip(hashes_l, hashes_f, strict=True)):
-        done = min((i + 1) * interval, cycles)
-        if hl != hf:
-            first_divergence = done
-            mismatches.append(
-                f"state hash at cycle {done}: "
-                f"legacy {hl[:16]} != fast {hf[:16]}")
-            for key in fps_l[i]:
-                if fps_l[i][key] != fps_f[i][key]:
-                    mismatches.append(
-                        f"stats {key} at cycle {done}: "
-                        f"{fps_l[i][key]!r} != {fps_f[i][key]!r}")
-            break
+    first_divergence, divergent, mismatches = compare_engine_runs(
+        engines, all_hashes, all_fps, interval, cycles)
 
     return EquivalenceReport(
         scheme=scheme, pattern=pattern, rate=rate, cycles=cycles,
-        interval=interval, seed=seed,
+        interval=interval, seed=seed, engines=engines,
         ok=not mismatches,
-        checkpoints=checkpoints,
+        checkpoints=len(all_hashes[engines[0]]),
         first_divergence=first_divergence,
-        hash_final_legacy=h_legacy,
-        hash_final_fast=h_fast,
+        final_hashes={name: (all_hashes[name][-1] if all_hashes[name] else "")
+                      for name in engines},
+        divergent_engines=divergent,
         mismatches=mismatches,
     )

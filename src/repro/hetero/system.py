@@ -32,7 +32,7 @@ from repro.network.network import Network, _build
 from repro.network.interface import NetworkInterface
 from repro.network.router import PacketRouter
 from repro.sdm.network import build_sdm_network
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, default_engine
 
 
 def gpu_data_eligible(msg: Message) -> bool:
@@ -75,8 +75,10 @@ class HeteroSystem:
         self.gpu_profile: GPUWorkloadProfile = GPU_BENCHMARKS[gpu_benchmark]
 
         self.cfg = cfg or scheme_config(scheme, width=width, height=height)
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, engine=default_engine())
         self.net = self._build_network()
+        if self.sim._batch is not None:
+            self.sim._batch.attach_network(self.net)
         self.layout: HeteroLayout = default_layout(self.net.mesh)
         self._attach_endpoints()
         self._perf_base = (0.0, 0)

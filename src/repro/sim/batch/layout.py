@@ -1,0 +1,219 @@
+"""Struct-of-arrays compilation of a built network.
+
+:func:`compile_layout` walks a wired :class:`~repro.network.network.Network`
+once and lays its mutable datapath state out as flat NumPy arrays —
+per-VC credits and buffer occupancies, link pipe registers, downstream
+VC ownership, staged arrivals, slot-table/CS reservations, NI queues.
+The arrays are *derived* views: the authoritative state stays on the
+objects (so ``state_dict`` / checkpointing are untouched), and
+:meth:`CompiledLayout.refresh` re-derives the arrays in one pass.
+
+The point of the flat form is that whole-network predicates become
+single vectorized reductions.  The batch engine's fast-forward gate
+("is every router's datapath provably empty?") is
+:meth:`CompiledLayout.datapath_empty` — one ``ndarray.any()`` over the
+packed state instead of a Python loop of per-object method dispatch.
+The same arrays back the consistency assertions in the batch-engine
+tests (:meth:`assert_consistent`) and the occupancy summaries used by
+the bench harness.
+
+Array shapes (R routers, P ports, V max VCs per port, N interfaces):
+
+====================  =========  =========================================
+``occupancy``         (R, P, V)  flits buffered per input VC
+``credits``           (R, P, V)  downstream credits held per output VC
+``owner_mask``        (R, P, V)  downstream VC currently owned (bool)
+``link_inflight``     (R, P)     flits in the input link pipe register
+``credit_inflight``   (R, P)     credits in the upstream credit pipe
+``arrivals``          (R, P)     flits staged for the current deliver
+``buffered``          (R,)       router's cached total buffered count
+``stalled_until``     (R,)       fault-stall horizon (0 when none)
+``cs_pending``        (R,)       pending CS injections + dirty CS flags
+``reserved_slots``    (R,)       reserved slot-table entries (TDM/CS)
+``ni_backlog``        (N,)       queued packets + open reassembly VCs
+``ni_inflight``       (N,)       eject/credit pipe contents + CS holds
+====================  =========  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+def _pipe_len(link) -> int:
+    """Length of a link's pipe register (0 for an absent link)."""
+    return 0 if link is None else len(link._pipe)
+
+
+class CompiledLayout:
+    """Flat-array mirror of one network's datapath state.
+
+    Construction allocates; :meth:`refresh` fills.  The arrays are only
+    meaningful for the cycle at which :meth:`refresh` was last called —
+    the batch engine refreshes immediately before each vectorized
+    quiescence check, which only happens on activity *transitions*
+    (never on steady-state busy cycles).
+    """
+
+    def __init__(self, net) -> None:
+        self.net = net
+        routers = net.routers
+        interfaces = net.interfaces
+        self.n_routers = len(routers)
+        self.n_interfaces = len(interfaces)
+        self.n_ports = max(len(r.in_ports) for r in routers)
+        self.n_vcs = max(len(port.vcs)
+                         for r in routers for port in r.in_ports)
+
+        shape_rpv = (self.n_routers, self.n_ports, self.n_vcs)
+        shape_rp = (self.n_routers, self.n_ports)
+        self.occupancy = np.zeros(shape_rpv, dtype=np.int32)
+        self.credits = np.zeros(shape_rpv, dtype=np.int32)
+        self.owner_mask = np.zeros(shape_rpv, dtype=bool)
+        self.link_inflight = np.zeros(shape_rp, dtype=np.int32)
+        self.credit_inflight = np.zeros(shape_rp, dtype=np.int32)
+        self.arrivals = np.zeros(shape_rp, dtype=np.int32)
+        self.buffered = np.zeros(self.n_routers, dtype=np.int32)
+        self.stalled_until = np.zeros(self.n_routers, dtype=np.int64)
+        self.cs_pending = np.zeros(self.n_routers, dtype=np.int32)
+        self.reserved_slots = np.zeros(self.n_routers, dtype=np.int32)
+        self.ni_backlog = np.zeros(self.n_interfaces, dtype=np.int32)
+        self.ni_inflight = np.zeros(self.n_interfaces, dtype=np.int32)
+        #: number of refresh passes (introspection for tests/bench)
+        self.refreshes = 0
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-derive every array from the live objects (one pass)."""
+        self.refreshes += 1
+        occupancy = self.occupancy
+        credits = self.credits
+        owner_mask = self.owner_mask
+        occupancy[:] = 0
+        credits[:] = 0
+        owner_mask[:] = False
+
+        for ri, r in enumerate(self.net.routers):
+            buffered = 0
+            for pi, port in enumerate(r.in_ports):
+                for vi, vc in enumerate(port.vcs):
+                    n = len(vc.fifo)
+                    occupancy[ri, pi, vi] = n
+                    buffered += n
+                self.link_inflight[ri, pi] = _pipe_len(r.in_links[pi])
+                self.credit_inflight[ri, pi] = _pipe_len(r.credit_in[pi])
+                self.arrivals[ri, pi] = len(r._arrivals[pi])
+            for pi, row in enumerate(r.credits):
+                for vi, c in enumerate(row):
+                    credits[ri, pi, vi] = c
+            for pi, owners in enumerate(r.out_vc_owner):
+                for vi, owner in enumerate(owners):
+                    owner_mask[ri, pi, vi] = owner is not None
+            self.buffered[ri] = r._buffered_flits
+            assert buffered == r._buffered_flits, \
+                "router buffered-flit cache out of sync with its VCs"
+            self.stalled_until[ri] = r.stalled_until
+            self.cs_pending[ri] = self._cs_pending(r)
+            slot_state = getattr(r, "slot_state", None)
+            self.reserved_slots[ri] = (0 if slot_state is None
+                                       else slot_state.reserved_entries())
+
+        for ni_i, ni in enumerate(self.net.interfaces):
+            open_vcs = sum(1 for s in ni.vc_in_use if s is not None)
+            self.ni_backlog[ni_i] = len(ni.ps_queue) + open_vcs
+            self.ni_inflight[ni_i] = (
+                _pipe_len(ni.eject_link) + _pipe_len(ni.credit_in)
+                + getattr(ni, "_cs_outstanding", 0))
+
+    @staticmethod
+    def _cs_pending(r) -> int:
+        """Circuit-switching work a router is still holding.
+
+        Counts scheduled CS injections plus, for the SDM router, any
+        sub-channel rows still marked in use (those keep the router's
+        ``sim_idle`` false too — this mirrors, not replaces, the
+        per-class idle predicates)."""
+        n = len(getattr(r, "_cs_inject", ()))
+        if getattr(r, "_cs_flags_dirty", False):
+            n += 1
+        for rows in (getattr(r, "_cs_in_used", None),
+                     getattr(r, "_cs_out_used", None)):
+            if rows:
+                # flat per-port bools (TDM hybrid) or nested per-port
+                # per-subchannel rows (SDM)
+                for row in rows:
+                    if isinstance(row, (list, tuple)):
+                        n += sum(1 for used in row if used)
+                    elif row:
+                        n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # vectorized whole-network predicates
+    # ------------------------------------------------------------------
+    def datapath_empty(self, cycle: int) -> bool:
+        """True when no flit, credit, staged arrival, CS injection or
+        fault stall exists anywhere in the compiled network — a single
+        pass of array reductions.  Slot-table *reservations* are
+        excluded on purpose: an established idle circuit holds its slots
+        without doing per-cycle work, so reservations do not block
+        fast-forwarding (CS data in flight shows up in the pipe and
+        occupancy arrays instead)."""
+        if self.occupancy.any() or self.arrivals.any():
+            return False
+        if self.link_inflight.any() or self.credit_inflight.any():
+            return False
+        if self.owner_mask.any() or self.cs_pending.any():
+            return False
+        if self.ni_backlog.any() or self.ni_inflight.any():
+            return False
+        return not (self.stalled_until > cycle).any()
+
+    def summary(self) -> dict:
+        """Aggregate occupancy figures (bench/diagnostic output)."""
+        return {
+            "buffered_flits": int(self.occupancy.sum()),
+            "flits_on_links": int(self.link_inflight.sum()),
+            "credits_in_flight": int(self.credit_inflight.sum()),
+            "owned_out_vcs": int(self.owner_mask.sum()),
+            "cs_pending": int(self.cs_pending.sum()),
+            "reserved_slots": int(self.reserved_slots.sum()),
+            "ni_backlog": int(self.ni_backlog.sum()),
+            "ni_inflight": int(self.ni_inflight.sum()),
+        }
+
+    # ------------------------------------------------------------------
+    def assert_consistent(self, cycle: Optional[int] = None) -> None:
+        """Cross-check the arrays against the object graph (tests only).
+
+        Verifies that a fresh compilation matches this layout after
+        :meth:`refresh`, and that the vectorized
+        :meth:`datapath_empty` agrees with the per-object idle
+        predicates when they are all idle."""
+        self.refresh()
+        fresh = CompiledLayout(self.net)
+        for name in ("occupancy", "credits", "owner_mask",
+                     "link_inflight", "credit_inflight", "arrivals",
+                     "buffered", "stalled_until", "cs_pending",
+                     "reserved_slots", "ni_backlog", "ni_inflight"):
+            a, b = getattr(self, name), getattr(fresh, name)
+            if not np.array_equal(a, b):
+                raise AssertionError(
+                    f"layout array {name!r} diverged from a fresh "
+                    f"compilation:\n{a}\nvs\n{b}")
+        if cycle is not None:
+            objects_idle = all(
+                r.sim_quiescent(cycle) for r in self.net.routers) and all(
+                ni.sim_idle(cycle) for ni in self.net.interfaces)
+            if objects_idle and not self.datapath_empty(cycle):
+                raise AssertionError(
+                    "per-object predicates say quiescent but the "
+                    f"vectorized reduction disagrees: {self.summary()}")
+
+
+def compile_layout(net) -> CompiledLayout:
+    """Compile *net* into a :class:`CompiledLayout` (see module doc)."""
+    return CompiledLayout(net)

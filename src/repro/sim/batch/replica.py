@@ -1,0 +1,192 @@
+"""Batched replicas: N independently-seeded copies of one workload.
+
+Sweep throughput in this repo is normally process-level (the supervisor
+forks one worker per point).  :class:`ReplicaSet` multiplies that
+*within* a process: it builds N copies of the same workload with
+different seeds and steps them through one shared loop in lockstep
+chunks, every replica running the batch engine so quiescent stretches
+fast-forward.
+
+The subtlety is the module-global id allocators (message/packet ids in
+:mod:`repro.network.flit`, connection ids in :mod:`repro.core.circuit`).
+A solo run starts them at zero; interleaving N replicas through shared
+globals would make every replica's ids depend on its neighbours and
+break bit-equality with solo runs.  The replica set therefore *banks*
+the allocators per replica: each replica's counter values are saved
+when its slice of the chunk ends and written back just before its next
+slice begins, so every replica observes exactly the allocator sequence
+a solo run would.  (The shared flit pool needs no banking: pooled flits
+are fully re-initialised on pop, and pool contents are never part of
+any hash.)
+
+A replica that raises :class:`~repro.sim.kernel.LivelockError` is
+retired — its error is recorded and the remaining replicas keep
+running, mirroring the supervisor's per-point fault isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import circuit as _circuit_mod
+from repro.network import flit as _flit_mod
+from repro.sim.checkpoint import capture_state, restore_state, state_hash
+from repro.sim.kernel import LivelockError
+
+
+def _save_ids() -> Tuple[int, int, int]:
+    return (_flit_mod._msg_ids.value, _flit_mod._pkt_ids.value,
+            _circuit_mod._conn_ids.value)
+
+
+def _load_ids(bank: Tuple[int, int, int]) -> None:
+    _flit_mod._msg_ids.value = bank[0]
+    _flit_mod._pkt_ids.value = bank[1]
+    _circuit_mod._conn_ids.value = bank[2]
+
+
+class Replica:
+    """One (sim, net, sources) instance plus its banked allocators."""
+
+    __slots__ = ("index", "seed", "sim", "net", "sources", "ids",
+                 "error")
+
+    def __init__(self, index: int, seed: int, sim, net, sources) -> None:
+        self.index = index
+        self.seed = seed
+        self.sim = sim
+        self.net = net
+        self.sources = sources
+        self.ids = _save_ids()
+        self.error: Optional[LivelockError] = None
+
+    @property
+    def active(self) -> bool:
+        return self.error is None
+
+
+class ReplicaSet:
+    """N seeds of one workload stepped through a single shared loop.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(seed) -> (sim, net, sources)`` building one replica.
+        Each invocation sees freshly zeroed id allocators, so the
+        factory must be the canonical construction path (anything built
+        through :func:`repro.harness.runner.prepare_synthetic`
+        qualifies).
+    seeds:
+        One seed per replica; replicas keep this order everywhere
+        (hashes, stats, snapshots).
+    """
+
+    def __init__(self, factory: Callable[[int], tuple],
+                 seeds: Sequence[int]) -> None:
+        if not seeds:
+            raise ValueError("ReplicaSet needs at least one seed")
+        self.replicas: List[Replica] = []
+        for i, seed in enumerate(seeds):
+            _load_ids((0, 0, 0))
+            sim, net, sources = factory(seed)
+            self.replicas.append(Replica(i, seed, sim, net, sources))
+        #: per-replica executed-cycle counters (lockstep unless retired)
+        self.cycles_run = np.zeros(len(seeds), dtype=np.int64)
+
+    @classmethod
+    def synthetic(cls, scheme: str, pattern: str, rate: float,
+                  seeds: Sequence[int], *, width: int = 4, height: int = 4,
+                  slot_table_size: int = 32,
+                  stop_cycle: Optional[int] = None) -> "ReplicaSet":
+        """Build a replica set over the synthetic-traffic harness."""
+        from repro.harness.runner import prepare_synthetic
+
+        def factory(seed: int):
+            sim, net, sources = prepare_synthetic(
+                scheme, pattern, rate, seed=seed, width=width,
+                height=height, slot_table_size=slot_table_size,
+                engine="batch")
+            if stop_cycle is not None:
+                for src in sources:
+                    src.stop_cycle = stop_cycle
+            return sim, net, sources
+
+        return cls(factory, seeds)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for r in self.replicas if r.active)
+
+    def run(self, cycles: int, chunk: Optional[int] = None) -> None:
+        """Advance every active replica by *cycles* cycles.
+
+        The chunk size only affects scheduling granularity (how often
+        the loop rotates between replicas), never results: each
+        replica's allocator bank is installed before its slice and
+        saved after, so its trajectory is bit-identical to a solo run
+        issued the same ``run`` calls.
+        """
+        if chunk is None:
+            chunk = cycles
+        remaining = cycles
+        while remaining > 0:
+            k = min(chunk, remaining)
+            for rep in self.replicas:
+                if not rep.active:
+                    continue
+                _load_ids(rep.ids)
+                try:
+                    rep.sim.run(k)
+                    self.cycles_run[rep.index] += k
+                except LivelockError as err:
+                    rep.error = err
+                finally:
+                    rep.ids = _save_ids()
+            remaining -= k
+
+    # ------------------------------------------------------------------
+    # observation / snapshots
+    # ------------------------------------------------------------------
+    def hashes(self) -> List[Optional[str]]:
+        """Canonical state hash per replica (None for retired ones)."""
+        out: List[Optional[str]] = []
+        for rep in self.replicas:
+            if not rep.active:
+                out.append(None)
+                continue
+            _load_ids(rep.ids)
+            out.append(state_hash(capture_state(rep.sim, rep.net)))
+        return out
+
+    def snapshot(self, index: int) -> Dict:
+        """Checkpoint one replica (its banked allocators included)."""
+        rep = self.replicas[index]
+        _load_ids(rep.ids)
+        return capture_state(rep.sim, rep.net)
+
+    def restore(self, index: int, state: Dict) -> None:
+        """Restore one replica from :meth:`snapshot` output; the
+        restored allocator values become the replica's bank."""
+        rep = self.replicas[index]
+        restore_state(rep.sim, rep.net, state)
+        rep.ids = _save_ids()
+        rep.error = None
+
+    def stats(self) -> dict:
+        """Aggregate throughput/coverage over the set."""
+        return {
+            "replicas": len(self.replicas),
+            "active": self.active_count,
+            "cycles_run": [int(c) for c in self.cycles_run],
+            "retired": [{"index": r.index, "seed": r.seed,
+                         "cycle": r.error.cycle}
+                        for r in self.replicas if r.error is not None],
+            "batch": [r.sim._batch.stats() if r.sim._batch else None
+                      for r in self.replicas],
+        }

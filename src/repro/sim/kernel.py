@@ -20,12 +20,20 @@ All randomness must come from :attr:`Simulator.rng` (a seeded NumPy
 
 Engines
 -------
-The simulator ships two schedulers that are *behaviourally identical*
+The simulator ships three schedulers that are *behaviourally identical*
 (verified by the differential-equivalence harness in
 :mod:`repro.harness.verify`):
 
 ``legacy``
     Every registered object runs every phase it overrides, every cycle.
+
+``batch``
+    The fast engine plus compiled-schedule fast-forward: when the whole
+    network is provably quiescent, whole stretches of cycles are applied
+    as O(1) closed-form array updates instead of being stepped (see
+    :mod:`repro.sim.batch`).  Gated by the same three-way differential
+    harness; identical ``state_hash`` trajectory at every observation
+    point.
 
 ``fast`` (default)
     Activity-tracked: a component whose :meth:`SimObject.sim_idle`
@@ -60,6 +68,7 @@ The simulator ships two schedulers that are *behaviourally identical*
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -68,6 +77,23 @@ from repro.obs.trace import NULL_RECORDER
 
 #: Canonical phase names in execution order.
 PHASES = ("deliver", "transfer", "inject", "control")
+
+
+def default_engine() -> str:
+    """The engine used when a caller does not choose one explicitly.
+
+    ``REPRO_ENGINE`` overrides the built-in default ("fast"), so whole
+    harness entry points (golden-fixture regeneration, sweeps, the
+    hetero system) can be re-run under another engine without threading
+    a parameter through every call site.
+    """
+    env = os.environ.get("REPRO_ENGINE", "").strip()
+    if not env:
+        return "fast"
+    if env not in Simulator.ENGINES:
+        raise ValueError(f"REPRO_ENGINE={env!r} is not one of "
+                         f"{Simulator.ENGINES}")
+    return env
 
 
 class LivelockError(RuntimeError):
@@ -253,11 +279,13 @@ class Simulator:
     engine:
         ``"fast"`` (default) skips sleeping components via the
         activity-tracked scheduler; ``"legacy"`` runs every phase of
-        every object each cycle.  Both produce identical ``state_hash``
+        every object each cycle; ``"batch"`` adds compiled quiescence
+        fast-forward on top of the fast scheduler (see
+        :mod:`repro.sim.batch`).  All produce identical ``state_hash``
         trajectories (see the module docstring).
     """
 
-    ENGINES = ("fast", "legacy")
+    ENGINES = ("fast", "legacy", "batch")
 
     def __init__(self, seed: int = 0, engine: str = "fast") -> None:
         if engine not in self.ENGINES:
@@ -274,8 +302,16 @@ class Simulator:
         self._objects: List[SimObject] = []
         self._end_hooks: List[Callable[[int], None]] = []
         self._sleepables: List[SimObject] = []
-        self._sleep_enabled = engine == "fast"
-        self._step = self._step_fast if engine == "fast" else self._step_legacy
+        self._sleep_enabled = engine in ("fast", "batch")
+        self._step = self._step_legacy if engine == "legacy" \
+            else self._step_fast
+        #: batch-engine controller (compiled quiescence fast-forward);
+        #: None for the other engines.  Imported lazily to keep kernel
+        #: importable without the batch package's dependencies.
+        self._batch = None
+        if engine == "batch":
+            from repro.sim.batch.engine import BatchEngine
+            self._batch = BatchEngine(self)
         # fast-engine awake lists: per-phase lists holding only the
         # objects that must run this cycle (see the module docstring);
         # rebuilt lazily when _wake_pending is set or a sleep occurs
@@ -444,9 +480,21 @@ class Simulator:
         """Run for *cycles* cycles (or until *until()* returns True).
 
         Returns the number of cycles actually executed.
+
+        Under the batch engine (and no *until* predicate — skipping
+        intermediate cycles would change when the predicate is polled),
+        quiescent stretches are fast-forwarded in O(1) jumps; the state
+        reached at every cycle boundary the caller can observe is
+        bit-identical to stepping (see :mod:`repro.sim.batch`).
         """
         executed = 0
         if until is None:
+            if self._batch is not None:
+                self._batch.run(cycles)
+                executed = cycles
+                for hook in self._end_hooks:
+                    hook(self.cycle)
+                return executed
             for _ in range(cycles):
                 self._step()
             executed = cycles

@@ -72,6 +72,31 @@ def test_golden_output_is_byte_identical(name, monkeypatch):
         f"new fixture")
 
 
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_output_is_byte_identical_under_batch_engine(
+        name, monkeypatch):
+    """The batch engine must regenerate every committed artefact
+    byte-for-byte: the fixtures double as an end-to-end engine-
+    equivalence oracle over the full experiment pipeline (``fig4``'s
+    sweeps, ``fig5``'s energy accounting, ``table3``'s hetero system),
+    which no synthetic verify workload covers in one piece.  The
+    ``REPRO_ENGINE`` override reaches every ``Simulator`` the
+    experiments construct without threading a parameter through them.
+    """
+    monkeypatch.setenv("REPRO_SCALE", PINNED_SCALE)
+    monkeypatch.setenv("REPRO_ENGINE", "batch")
+    fixture = GOLDEN_DIR / name
+    assert fixture.exists(), (
+        f"missing golden fixture {fixture}; regenerate with "
+        f"PYTHONPATH=src python {__file__} --regen")
+    expected = fixture.read_text()
+    actual = CASES[name]()
+    assert actual == expected, (
+        f"{name} under engine=batch drifted from the committed golden "
+        f"output — the batch engine is not bit-equivalent on this "
+        f"experiment pipeline")
+
+
 def _regenerate() -> None:
     os.environ["REPRO_SCALE"] = PINNED_SCALE
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)

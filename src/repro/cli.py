@@ -74,6 +74,7 @@ import sys
 from typing import List, Optional
 
 from repro.config import SCHEMES, scheme_config
+from repro.core.decision import DECISION_POLICIES
 from repro.harness import experiments as experiments_mod
 from repro.harness.report import format_table, write_csv
 from repro.harness.runner import load_latency_sweep, run_synthetic
@@ -453,10 +454,23 @@ def _print_job(job, as_json: bool) -> None:
 def cmd_submit(args) -> int:
     from repro.service.client import ServiceClient
 
-    body = {
-        "tenant": args.tenant,
-        "qos": args.qos,
-        "sweep": {
+    if args.cpu_benchmarks or args.gpu_benchmarks:
+        if not (args.cpu_benchmarks and args.gpu_benchmarks):
+            print("error: --cpu-benchmarks and --gpu-benchmarks must be "
+                  "given together", file=sys.stderr)
+            return EXIT_CONFIG
+        sweep = {
+            "schemes": args.schemes.split(","),
+            "cpu_benchmarks": args.cpu_benchmarks.split(","),
+            "gpu_benchmarks": args.gpu_benchmarks.split(","),
+            "seed": args.seed,
+            "width": args.width, "height": args.height,
+            "warmup": args.warmup, "measure": args.measure,
+        }
+        if args.phased:
+            sweep["phased"] = True
+    else:
+        sweep = {
             "schemes": args.schemes.split(","),
             "pattern": args.pattern,
             "rates": [float(r) for r in args.rates.split(",")],
@@ -464,8 +478,8 @@ def cmd_submit(args) -> int:
             "width": args.width, "height": args.height,
             "slot_table_size": args.slot_table_size,
             "warmup": args.warmup, "measure": args.measure,
-        },
-    }
+        }
+    body = {"tenant": args.tenant, "qos": args.qos, "sweep": sweep}
     if args.deadline is not None:
         body["deadline_s"] = args.deadline
     if args.idempotency_key:
@@ -565,10 +579,18 @@ def cmd_bench(args) -> int:
     import json as json_mod
 
     from repro.harness.bench import (compare_to_baseline, run_bench,
-                                     time_supervised_sweep,
+                                     select_scenarios, time_supervised_sweep,
                                      write_bench_json)
 
-    report = run_bench(repeats=args.repeats, seed=args.seed)
+    scenarios = None
+    if args.scenarios:
+        try:
+            scenarios = select_scenarios(args.scenarios.split(","))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+    report = run_bench(repeats=args.repeats, seed=args.seed,
+                       scenarios=scenarios)
     rows = [(r["scenario"], r["legacy_cps"], r["fast_cps"], r["batch_cps"],
              r["ratio"], r["batch_ratio"],
              f"{r['target_ratio']}/{r['batch_target']}",
@@ -647,12 +669,37 @@ def cmd_energy(args) -> int:
 
 
 def cmd_hetero(args) -> int:
-    from repro.hetero import HeteroSystem
+    from repro.hetero import HeteroSystem, PhaseConfig, run_hetero_replay
+
+    schemes = args.schemes.split(",")
+    phases = PhaseConfig() if args.phased else None
+
+    if args.replay:
+        path = f"{args.replay}.trace.jsonl"
+        rows = []
+        for scheme in schemes:
+            res = run_hetero_replay(
+                scheme, path, warmup=args.warmup, measure=args.measure,
+                seed=args.seed, engine=args.engine, policy=args.policy)
+            rows.append((scheme, res.cs_fraction, res.avg_pkt_latency,
+                         res.energy.total / 1e6, res.messages_delivered))
+        _emit(("scheme", "cs_frac", "avg_lat", "total_uJ", "messages"),
+              rows, f"Trace replay: {path}", args.csv)
+        return 0
+
+    recorder = None
     rows = []
     base = None
-    for scheme in args.schemes.split(","):
-        system = HeteroSystem(scheme, args.cpu, args.gpu, seed=args.seed)
-        res = system.run(warmup=args.warmup, measure=args.measure)
+    for i, scheme in enumerate(schemes):
+        system = HeteroSystem(scheme, args.cpu, args.gpu, seed=args.seed,
+                              engine=args.engine, phases=phases,
+                              policy=args.policy)
+        rec = None
+        if args.record and i == 0:
+            from repro.traffic import MessageTraceRecorder
+            rec = recorder = MessageTraceRecorder()
+        res = system.run(warmup=args.warmup, measure=args.measure,
+                         recorder=rec)
         if base is None:
             base = res
         rows.append((scheme,
@@ -663,6 +710,15 @@ def cmd_hetero(args) -> int:
     _emit(("scheme", "energy_save_%", "cpu_speedup", "gpu_speedup",
            "cs_frac", "gpu_inj"), rows,
           f"Heterogeneous mix {args.cpu} x {args.gpu}", args.csv)
+    if recorder is not None:
+        path = f"{args.record}.trace.jsonl"
+        recorder.save(path, info={
+            "scheme": schemes[0], "cpu_benchmark": args.cpu,
+            "gpu_benchmark": args.gpu, "warmup": args.warmup,
+            "measure": args.measure, "seed": args.seed,
+            "phased": bool(args.phased), "policy": args.policy})
+        print(f"\nrecorded {len(recorder.events)} events "
+              f"({schemes[0]}) to {path}")
     return 0
 
 
@@ -904,6 +960,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="packet_vc4,hybrid_tdm_vc4,hybrid_tdm_vct")
     p.add_argument("--pattern", default="uniform_random")
     p.add_argument("--rates", default="0.05,0.15,0.25")
+    p.add_argument("--cpu-benchmarks", default=None,
+                   help="comma list of CPU benchmarks; with "
+                        "--gpu-benchmarks, submits a heterogeneous "
+                        "closed-loop sweep instead of pattern/rates")
+    p.add_argument("--gpu-benchmarks", default=None,
+                   help="comma list of GPU benchmarks (hetero sweep)")
+    p.add_argument("--phased", action="store_true",
+                   help="phase-structured hetero workload "
+                        "(hetero sweeps only)")
     p.add_argument("--width", type=int, default=6)
     p.add_argument("--height", type=int, default=6)
     p.add_argument("--slot-table-size", type=int, default=128)
@@ -999,6 +1064,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = one per CPU)")
     p.add_argument("--no-sweep", action="store_true",
                    help="skip the supervised-sweep wall-clock figure")
+    p.add_argument("--scenarios", default=None,
+                   help="comma-separated scenario subset (e.g. "
+                        "hetero_mix,trace_replay)")
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=cmd_bench)
 
@@ -1038,6 +1106,20 @@ def build_parser() -> argparse.ArgumentParser:
                    "hybrid_tdm_hop_vc4,hybrid_tdm_hop_vct")
     p.add_argument("--warmup", type=int, default=2000)
     p.add_argument("--measure", type=int, default=6000)
+    p.add_argument("--record", default=None, metavar="PREFIX",
+                   help="record the first scheme's message trace to "
+                        "PREFIX.trace.jsonl")
+    p.add_argument("--replay", default=None, metavar="PREFIX",
+                   help="replay PREFIX.trace.jsonl across --schemes "
+                        "instead of running the closed-loop mix")
+    p.add_argument("--phased", action="store_true",
+                   help="phase-structured workload (compute/memory phases, "
+                        "GPU kernel bursts, hotspot skew)")
+    p.add_argument("--policy", default="slack",
+                   choices=list(DECISION_POLICIES),
+                   help="circuit-decision policy for hybrid schemes")
+    p.add_argument("--engine", default=None,
+                   choices=("legacy", "fast", "batch"))
     _add_common(p)
     p.set_defaults(fn=cmd_hetero)
 

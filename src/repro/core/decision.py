@@ -95,6 +95,33 @@ class FeedbackDecision:
         return cs <= ps + slack + self.margin
 
 
+#: names accepted by :func:`make_decision_policy` (CLI / sweep axis)
+DECISION_POLICIES = ("slack", "stall", "feedback", "always", "never")
+
+
+def make_decision_policy(name: str, *, threshold: int = 2,
+                         default_slack: int = 0, margin: int = 0):
+    """Build a decision policy from its CLI name.
+
+    ``feedback`` returns a :class:`FeedbackDecision` template; the
+    connection manager copies and ``bind``s it per NI, so replayed
+    traffic (whose ``meta['slack']`` survives the v2 trace round trip)
+    is gated by *observed* latencies at each source.
+    """
+    if name == "slack":
+        return slack_decision(default_slack=default_slack)
+    if name == "stall":
+        return stall_threshold_decision(threshold)
+    if name == "feedback":
+        return FeedbackDecision(margin=margin)
+    if name == "always":
+        return always_circuit()
+    if name == "never":
+        return never_circuit()
+    raise ValueError(
+        f"unknown decision policy {name!r}; choose from {DECISION_POLICIES}")
+
+
 def always_circuit() -> DecisionFn:
     """Use the circuit whenever one exists (ablation baseline)."""
     return lambda msg, wait, cs_lat, ps_lat: True

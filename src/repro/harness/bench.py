@@ -72,6 +72,11 @@ class BenchScenario:
     target_ratio: float = 1.3           #: fast/legacy cycles-per-second
     batch_target: float = 1.0           #: batch/legacy cycles-per-second
     repeats: Optional[int] = None       #: override run_bench's repeats
+    #: "synthetic" (default), "hetero" (closed-loop phased hetero
+    #: system) or "trace_replay" (recorded hetero trace + idle tail)
+    kind: str = "synthetic"
+    cpu_benchmark: str = "ART"          #: hetero kinds only
+    gpu_benchmark: str = "BLACKSCHOLES"
 
 
 #: Default scenario set; targets match the acceptance criteria
@@ -87,21 +92,90 @@ SCENARIOS: List[BenchScenario] = [
     BenchScenario(name="mesh16", rate=0.05, stop_cycle=250, cycles=16000,
                   width=16, height=16, target_ratio=3.0,
                   batch_target=10.0, repeats=2),
+    # ROADMAP item 3 shapes.  hetero_mix keeps every endpoint awake
+    # every cycle, so the engines cannot separate — the targets only
+    # guard against the fast/batch machinery adding overhead to the
+    # always-busy case.  trace_replay ends its recorded traffic early
+    # and coasts on a quiescent tail the batch engine fast-forwards.
+    BenchScenario(name="hetero_mix", kind="hetero", cycles=4000,
+                  width=6, height=6, cpu_benchmark="ART",
+                  gpu_benchmark="BLACKSCHOLES",
+                  target_ratio=0.8, batch_target=0.8, repeats=3),
+    BenchScenario(name="trace_replay", kind="trace_replay", cycles=60000,
+                  width=6, height=6, cpu_benchmark="ART",
+                  gpu_benchmark="BLACKSCHOLES",
+                  target_ratio=2.5, batch_target=3.0, repeats=3),
 ]
+
+#: per-process cache of the recorded trace_replay events (the recording
+#: run is paid once, not once per engine x repeat)
+_TRACE_CACHE: Dict = {}
+
+
+def _replay_events(scn: BenchScenario, seed: int):
+    from repro.hetero.phases import PhaseConfig
+    from repro.hetero.system import HeteroSystem
+    from repro.traffic.trace import MessageTraceRecorder
+
+    key = (scn.scheme, scn.cpu_benchmark, scn.gpu_benchmark, seed)
+    if key not in _TRACE_CACHE:
+        rec = MessageTraceRecorder()
+        system = HeteroSystem(scn.scheme, scn.cpu_benchmark,
+                              scn.gpu_benchmark, seed=seed,
+                              width=scn.width, height=scn.height,
+                              engine="fast", phases=PhaseConfig())
+        system.run(warmup=500, measure=1000, recorder=rec)
+        _TRACE_CACHE[key] = rec.events
+    return _TRACE_CACHE[key]
 
 
 def _time_run(scn: BenchScenario, engine: str, seed: int) -> float:
     """Build the scenario fresh and return measured cycles/second."""
-    sim, _net, sources = prepare_synthetic(
-        scn.scheme, scn.pattern, scn.rate, seed=seed,
-        width=scn.width, height=scn.height, engine=engine)
-    if scn.stop_cycle is not None:
-        for src in sources:
-            src.stop_cycle = scn.stop_cycle
+    if scn.kind == "hetero":
+        from repro.hetero.phases import PhaseConfig
+        from repro.hetero.system import HeteroSystem
+
+        system = HeteroSystem(scn.scheme, scn.cpu_benchmark,
+                              scn.gpu_benchmark, seed=seed,
+                              width=scn.width, height=scn.height,
+                              engine=engine, phases=PhaseConfig())
+        sim = system.sim
+    elif scn.kind == "trace_replay":
+        from repro.config import scheme_config
+        from repro.hetero.system import _make_network
+        from repro.sim.kernel import Simulator
+        from repro.traffic.trace import attach_trace_sources
+
+        events = _replay_events(scn, seed)
+        cfg = scheme_config(scn.scheme, width=scn.width, height=scn.height)
+        sim = Simulator(seed=seed, engine=engine)
+        net = _make_network(cfg, sim)
+        if sim._batch is not None:
+            sim._batch.attach_network(net)
+        attach_trace_sources(net, events)
+    else:
+        sim, _net, sources = prepare_synthetic(
+            scn.scheme, scn.pattern, scn.rate, seed=seed,
+            width=scn.width, height=scn.height, engine=engine)
+        if scn.stop_cycle is not None:
+            for src in sources:
+                src.stop_cycle = scn.stop_cycle
     t0 = time.perf_counter()
     sim.run(scn.cycles)
     elapsed = time.perf_counter() - t0
     return scn.cycles / elapsed if elapsed > 0 else float("inf")
+
+
+def select_scenarios(names: Optional[List[str]]) -> List[BenchScenario]:
+    """Resolve a ``--scenarios`` name list against :data:`SCENARIOS`."""
+    if not names:
+        return SCENARIOS
+    by_name = {scn.name: scn for scn in SCENARIOS}
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        raise ValueError(f"unknown bench scenario(s) {unknown}; "
+                         f"available: {sorted(by_name)}")
+    return [by_name[n] for n in names]
 
 
 def run_bench(repeats: int = 5, seed: int = 1,
@@ -122,6 +196,7 @@ def run_bench(repeats: int = 5, seed: int = 1,
         batch_ratio = best["batch"] / legacy if legacy else 0.0
         rows.append({
             "scenario": scn.name,
+            "kind": scn.kind,
             "scheme": scn.scheme,
             "pattern": scn.pattern,
             "rate": scn.rate,

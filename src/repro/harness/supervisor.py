@@ -137,6 +137,46 @@ def build_sweep_points(schemes: Sequence[str], pattern: str,
             for scheme in schemes for rate in rates]
 
 
+def build_hetero_points(schemes: Sequence[str],
+                        cpu_benchmarks: Sequence[str],
+                        gpu_benchmarks: Sequence[str],
+                        seed: int = 1, width: int = 6, height: int = 6,
+                        warmup: int = 2000, measure: int = 6000,
+                        phased: bool = False, policy: str = "slack",
+                        engine: Optional[str] = None) -> List[Dict]:
+    """The (scheme x CPU benchmark x GPU benchmark) closed-loop grid.
+
+    A hetero point is recognised by its ``cpu_benchmark`` key (synthetic
+    points carry ``pattern``/``rate`` instead); ``phased`` turns on the
+    phase-structured workload layer and hotspot skew."""
+    point: Dict = {"warmup": warmup, "measure": measure, "seed": seed,
+                   "width": width, "height": height, "policy": policy}
+    if engine is not None:
+        point["engine"] = engine
+    if phased:
+        point["phased"] = True
+    return [dict(point, scheme=scheme, cpu_benchmark=cpu, gpu_benchmark=gpu)
+            for scheme in schemes
+            for cpu in cpu_benchmarks for gpu in gpu_benchmarks]
+
+
+def build_replay_points(schemes: Sequence[str], trace_path: str,
+                        seed: int = 1, width: int = 6, height: int = 6,
+                        warmup: int = 2000, measure: int = 6000,
+                        policy: str = "slack",
+                        engine: Optional[str] = None) -> List[Dict]:
+    """One trace replayed across *schemes* (identical traffic per point).
+
+    A replay point carries ``trace`` as a *string* path — distinct from
+    the boolean ``trace`` observability flag of synthetic points."""
+    point: Dict = {"warmup": warmup, "measure": measure, "seed": seed,
+                   "width": width, "height": height, "policy": policy,
+                   "trace": os.path.abspath(trace_path)}
+    if engine is not None:
+        point["engine"] = engine
+    return [dict(point, scheme=scheme) for scheme in schemes]
+
+
 def _points_dir(run_dir: str) -> str:
     return os.path.join(run_dir, "points")
 
@@ -226,19 +266,71 @@ def _run_to_row(run) -> Dict:
     return row
 
 
+def _hetero_row(res) -> Dict:
+    """Flatten a :class:`~repro.hetero.system.HeteroResult` to a result
+    row (the hetero/replay analogue of :func:`_run_to_row`)."""
+    return {
+        "scheme": res.scheme,
+        "cpu_benchmark": res.cpu_benchmark,
+        "gpu_benchmark": res.gpu_benchmark,
+        "cycles": res.cycles,
+        "cpu_ipc": res.cpu_ipc,
+        "gpu_throughput": res.gpu_throughput,
+        "gpu_injection_rate": res.gpu_injection_rate,
+        "cs_fraction": res.cs_fraction,
+        "avg_latency": res.avg_pkt_latency,
+        "energy_total": res.energy.total,
+        "messages_delivered": res.messages_delivered,
+    }
+
+
+def _run_hetero_point(point: Dict) -> Dict:
+    """Execute one closed-loop hetero or trace-replay sweep point."""
+    from repro.harness.runner import scaled
+    from repro.hetero.system import HeteroSystem, run_hetero_replay
+    from repro.sim.checkpoint import reset_id_counters
+
+    reset_id_counters()
+    warmup = scaled(point.get("warmup", 2000))
+    measure = scaled(point.get("measure", 6000))
+    common = dict(seed=point.get("seed", 1),
+                  width=point.get("width", 6),
+                  height=point.get("height", 6),
+                  engine=point.get("engine"),
+                  policy=point.get("policy", "slack"))
+    if isinstance(point.get("trace"), str):
+        res = run_hetero_replay(point["scheme"], point["trace"],
+                                warmup=warmup, measure=measure, **common)
+        return _hetero_row(res)
+    phases = None
+    if point.get("phased"):
+        from repro.hetero.phases import PhaseConfig
+        phases = PhaseConfig()
+    system = HeteroSystem(point["scheme"], point["cpu_benchmark"],
+                          point["gpu_benchmark"], phases=phases, **common)
+    return _hetero_row(system.run(warmup=warmup, measure=measure))
+
+
+def _is_hetero_point(point: Dict) -> bool:
+    return "cpu_benchmark" in point or isinstance(point.get("trace"), str)
+
+
 def _point_observability(point: Dict, out_path: str):
     """Observability bundle for one sweep point, or None.
 
     Output files share the result file's ``point-NNNN`` stem so every
-    dump sits next to the JSON row it belongs to."""
-    if not (point.get("trace") or point.get("metrics")):
+    dump sits next to the JSON row it belongs to.  The ``trace`` key is
+    overloaded: ``True`` requests an observability trace dump, while a
+    *string* names a message-trace file to replay (see
+    :func:`build_replay_points`) and must not trigger dumps."""
+    obs_trace = point.get("trace") is True
+    if not (obs_trace or point.get("metrics")):
         return None
     from repro.obs import Observability
     stem = out_path[:-5] if out_path.endswith(".json") else out_path
     return Observability(
-        trace_jsonl=stem + ".trace.jsonl" if point.get("trace") else None,
-        trace_chrome=(stem + ".trace.chrome.json"
-                      if point.get("trace") else None),
+        trace_jsonl=stem + ".trace.jsonl" if obs_trace else None,
+        trace_chrome=(stem + ".trace.chrome.json" if obs_trace else None),
         metrics_path=stem + ".metrics.json" if point.get("metrics") else None,
         sample_interval=point.get("metrics_interval", 100))
 
@@ -323,28 +415,37 @@ def _worker_main(point: Dict, out_path: str,
             stop_hb.set()
         time.sleep(3600)
 
-    obs = _point_observability(point, out_path)
+    # hetero/replay points run the closed-loop system, not run_synthetic,
+    # and carry no observability dumps
+    obs = (None if _is_hetero_point(point)
+           else _point_observability(point, out_path))
     status = STATUS_OK
     try:
         if fail_mode == "livelock":
             raise LivelockError(0, 1, 1, {"injected": True})
-        run = run_synthetic(
-            point["scheme"], point["pattern"], point["rate"],
-            warmup=point.get("warmup", 1500),
-            measure=point.get("measure", 4000),
-            seed=point.get("seed", 1),
-            width=point.get("width", 6), height=point.get("height", 6),
-            slot_table_size=point.get("slot_table_size", 128),
-            engine=point.get("engine"),
-            checkpoint_dir=ckpt_dir, checkpoint_cycles=checkpoint_cycles,
-            observability=obs, with_state_hash=True)
-        row = _run_to_row(run)
-        if run.failed:
-            status = STATUS_LIVELOCK
+        if _is_hetero_point(point):
+            row = _run_hetero_point(point)
+        else:
+            run = run_synthetic(
+                point["scheme"], point["pattern"], point["rate"],
+                warmup=point.get("warmup", 1500),
+                measure=point.get("measure", 4000),
+                seed=point.get("seed", 1),
+                width=point.get("width", 6), height=point.get("height", 6),
+                slot_table_size=point.get("slot_table_size", 128),
+                engine=point.get("engine"),
+                checkpoint_dir=ckpt_dir,
+                checkpoint_cycles=checkpoint_cycles,
+                observability=obs, with_state_hash=True)
+            row = _run_to_row(run)
+            if run.failed:
+                status = STATUS_LIVELOCK
     except LivelockError as exc:
         status = STATUS_LIVELOCK
-        row = {"scheme": point["scheme"], "pattern": point["pattern"],
-               "offered": point["rate"], "note": f"livelock@{exc.cycle}"}
+        row = {"scheme": point["scheme"],
+               "pattern": point.get("pattern"),
+               "offered": point.get("rate"),
+               "note": f"livelock@{exc.cycle}"}
     result = {"status": status, "point": point, "row": row}
     obs_paths: List[str] = []
     if obs is not None:

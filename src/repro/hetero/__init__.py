@@ -20,7 +20,13 @@ from repro.hetero.workloads import (
 from repro.hetero.cpu import CPUCoreEndpoint
 from repro.hetero.gpu import GPUCoreEndpoint
 from repro.hetero.memory import L2BankEndpoint, MemoryControllerEndpoint
-from repro.hetero.system import HeteroSystem, HeteroResult
+from repro.hetero.phases import (
+    HotspotLayout,
+    PhaseConfig,
+    PhasedCPUCoreEndpoint,
+    PhasedGPUCoreEndpoint,
+)
+from repro.hetero.system import HeteroSystem, HeteroResult, run_hetero_replay
 
 __all__ = [
     "TileType", "HeteroLayout", "FLOORPLAN_6X6",
@@ -28,5 +34,7 @@ __all__ = [
     "CPU_BENCHMARKS", "GPU_BENCHMARKS", "workload_mixes",
     "CPUCoreEndpoint", "GPUCoreEndpoint",
     "L2BankEndpoint", "MemoryControllerEndpoint",
-    "HeteroSystem", "HeteroResult",
+    "PhaseConfig", "PhasedCPUCoreEndpoint", "PhasedGPUCoreEndpoint",
+    "HotspotLayout",
+    "HeteroSystem", "HeteroResult", "run_hetero_replay",
 ]

@@ -1,0 +1,160 @@
+"""Phase-structured heterogeneous workload layer (ROADMAP item 3).
+
+Real CPU+GPU applications are not stationary Bernoulli processes: SPEC
+OMP codes alternate compute-dominated and memory-dominated program
+phases, GPU kernels launch in bursts separated by host-side gaps, and
+DRAM-bound working sets skew toward the banks fronting the memory
+controllers.  This module layers that structure over the closed-loop
+tile models (lumos-style MPSoC workload budgeting: the same profiles,
+modulated in time and space):
+
+* :class:`PhasedCPUCoreEndpoint` — the L1 miss rate is scaled down in
+  even (compute) phases and up in odd (memory) phases; per-node phase
+  offsets decorrelate the cores the way independent threads would be.
+* :class:`PhasedGPUCoreEndpoint` — requests only issue while a kernel
+  is resident; between kernels the SM drains, warps pile up ready, and
+  the next kernel opens with a coalesced launch burst.
+* :class:`HotspotLayout` — a layout proxy that redirects a biased
+  fraction of CPU line fetches to the L2 banks closest to the memory
+  controllers (the DRAM-side hotspot every banked LLC sees).
+
+The phased endpoints inherit the request/reply cache-line dependency
+chain (read_req -> data_reply, miss -> mem_req -> mem_reply) unchanged,
+so network latency still feeds back into performance, and every message
+keeps the ``gpu``/``slack`` metadata the Section V-A2 switching policy
+and the v2 trace format carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import NetworkConfig
+from repro.hetero.cpu import CPUCoreEndpoint
+from repro.hetero.gpu import GPUCoreEndpoint
+from repro.hetero.tiles import HeteroLayout
+from repro.hetero.workloads import CPUWorkloadProfile, GPUWorkloadProfile
+
+
+@dataclass(frozen=True)
+class PhaseConfig:
+    """Knobs of the phase-structured workload model."""
+
+    #: cycles per CPU program phase (one compute + one memory phase
+    #: alternate with this period each)
+    cpu_phase_len: int = 800
+    #: miss-rate multiplier during compute phases
+    cpu_compute_scale: float = 0.25
+    #: miss-rate multiplier during memory phases
+    cpu_memory_scale: float = 2.0
+    #: cycles a GPU kernel stays resident (issuing requests)
+    gpu_kernel_len: int = 1200
+    #: host-side gap between kernel launches (SM idle)
+    gpu_gap_len: int = 300
+    #: share of L2 banks in the DRAM-side hot set
+    hotspot_fraction: float = 0.25
+    #: probability a CPU line fetch is redirected to a hot bank
+    hotspot_bias: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cpu_phase_len < 1 or self.gpu_kernel_len < 1:
+            raise ValueError("phase/kernel lengths must be >= 1 cycle")
+        if self.gpu_gap_len < 0:
+            raise ValueError("gpu_gap_len must be >= 0")
+        if not 0.0 <= self.hotspot_bias <= 1.0:
+            raise ValueError("hotspot_bias must be in [0, 1]")
+        if not 0.0 < self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in (0, 1]")
+
+
+class HotspotLayout:
+    """Layout proxy skewing :meth:`bank_for_address` toward hot banks.
+
+    The hot set is the ``hotspot_fraction`` of L2 banks nearest any
+    memory controller (ties broken by node id), modelling the DRAM-bound
+    share of the working set.  Everything else delegates to the wrapped
+    :class:`~repro.hetero.tiles.HeteroLayout`.
+    """
+
+    def __init__(self, layout: HeteroLayout, cfg: PhaseConfig,
+                 rng: np.random.Generator) -> None:
+        self._layout = layout
+        self._cfg = cfg
+        self._rng = rng
+        n_hot = max(1, round(cfg.hotspot_fraction * len(layout.l2_nodes)))
+        by_mc_distance = sorted(
+            layout.l2_nodes,
+            key=lambda bank: (min(layout.mesh.hops(bank, m)
+                                  for m in layout.mem_nodes), bank))
+        self.hot_banks = by_mc_distance[:n_hot]
+
+    def bank_for_address(self, address: int) -> int:
+        if self._rng.random() < self._cfg.hotspot_bias:
+            return self.hot_banks[address % len(self.hot_banks)]
+        return self._layout.bank_for_address(address)
+
+    def __getattr__(self, name: str):
+        return getattr(self._layout, name)
+
+
+class PhasedCPUCoreEndpoint(CPUCoreEndpoint):
+    """CPU tile alternating compute-bound and memory-bound phases."""
+
+    def __init__(self, node: int, cfg: NetworkConfig, layout,
+                 profile: CPUWorkloadProfile, rng: np.random.Generator,
+                 phase_cfg: PhaseConfig) -> None:
+        super().__init__(node, cfg, layout, profile, rng)
+        self.phase_cfg = phase_cfg
+        # deterministic per-node offset decorrelates the cores without
+        # drawing RNG (construction order must not perturb the stream)
+        self._phase_offset = (node * 211) % (2 * phase_cfg.cpu_phase_len)
+
+    def phase_index(self, cycle: int) -> int:
+        return (cycle + self._phase_offset) // self.phase_cfg.cpu_phase_len
+
+    def miss_scale(self, cycle: int) -> float:
+        if self.phase_index(cycle) % 2 == 0:
+            return self.phase_cfg.cpu_compute_scale
+        return self.phase_cfg.cpu_memory_scale
+
+    def tick(self, cycle: int) -> None:
+        if self.blocked:
+            self.stall_cycles += 1
+            return
+        p = self.profile
+        self._retire_credit += p.ipc
+        retired = int(self._retire_credit)
+        self._retire_credit -= retired
+        self.instructions_retired += retired
+        self._miss_credit += retired * p.miss_rate * self.miss_scale(cycle)
+        while self._miss_credit >= 1.0 and not self.blocked:
+            self._miss_credit -= 1.0
+            self._issue_miss(cycle)
+
+
+class PhasedGPUCoreEndpoint(GPUCoreEndpoint):
+    """Accelerator tile issuing only while a kernel is resident.
+
+    Warps finishing compute during a launch gap accumulate in the ready
+    heap, so each kernel opens with a burst — the characteristic
+    kernel-launch injection spike of GPGPU traces.
+    """
+
+    def __init__(self, node: int, cfg: NetworkConfig, layout,
+                 profile: GPUWorkloadProfile, rng: np.random.Generator,
+                 phase_cfg: PhaseConfig) -> None:
+        super().__init__(node, cfg, layout, profile, rng)
+        self.phase_cfg = phase_cfg
+        period = phase_cfg.gpu_kernel_len + phase_cfg.gpu_gap_len
+        self._phase_offset = (node * 173) % period
+
+    def kernel_active(self, cycle: int) -> bool:
+        cfg = self.phase_cfg
+        period = cfg.gpu_kernel_len + cfg.gpu_gap_len
+        return (cycle + self._phase_offset) % period < cfg.gpu_kernel_len
+
+    def tick(self, cycle: int) -> None:
+        if self.kernel_active(cycle):
+            super().tick(cycle)

@@ -258,7 +258,9 @@ def _wire(cfg: NetworkConfig, sim: Simulator,
     for node in range(mesh.num_nodes):
         r = routers[node]
         ni = interfaces[node]
-        r.rng = sim.rng
+        # fabric components draw from the dedicated network stream so a
+        # trace replay (no endpoint draws) reproduces slot choices
+        r.rng = sim.net_rng
         ni.sim = sim
         # NI <-> router local port
         inj = FlitLink(latency=1)

@@ -41,8 +41,8 @@ from typing import Dict, List, Optional
 
 from repro.config import SCHEMES, CheckpointConfig
 from repro.harness import store
-from repro.harness.supervisor import (build_sweep_points, sweep_config_hash,
-                                      validate_result)
+from repro.harness.supervisor import (build_hetero_points, build_sweep_points,
+                                      sweep_config_hash, validate_result)
 
 #: on-disk schema of job.json documents
 JOB_SCHEMA = 1
@@ -114,6 +114,9 @@ class ServiceConfig:
 # ---------------------------------------------------------------------------
 _SWEEP_KEYS = {"schemes", "pattern", "rates", "seed", "width", "height",
                "slot_table_size", "warmup", "measure"}
+#: the heterogeneous family replaces pattern/rates with benchmark lists
+_HETERO_KEYS = {"schemes", "cpu_benchmarks", "gpu_benchmarks", "phased",
+                "policy", "seed", "width", "height", "warmup", "measure"}
 _REQUEST_KEYS = {"tenant", "qos", "deadline_s", "idempotency_key", "sweep"}
 
 
@@ -158,32 +161,65 @@ def validate_request(body: Dict, cfg: ServiceConfig) -> Dict:
 
     sweep = body.get("sweep")
     _require(isinstance(sweep, dict), "sweep must be a JSON object")
-    unknown = set(sweep) - _SWEEP_KEYS
+    hetero = "cpu_benchmarks" in sweep or "gpu_benchmarks" in sweep
+    allowed = _HETERO_KEYS if hetero else _SWEEP_KEYS
+    unknown = set(sweep) - allowed
     _require(not unknown, f"unknown sweep fields: {sorted(unknown)}")
     schemes = sweep.get("schemes")
     _require(isinstance(schemes, list) and schemes
              and all(s in SCHEMES for s in schemes),
              f"sweep.schemes must be a non-empty list from {SCHEMES}")
-    pattern = sweep.get("pattern", "uniform_random")
-    _require(pattern in PATTERNS,
-             f"sweep.pattern must be one of {PATTERNS}")
-    rates = sweep.get("rates")
-    _require(isinstance(rates, list) and rates
-             and all(isinstance(r, (int, float))
-                     and not isinstance(r, bool)
-                     and 0 < r <= 1.0 for r in rates),
-             "sweep.rates must be a non-empty list of numbers in (0, 1]")
-    spec_sweep = {
-        "schemes": list(schemes), "pattern": pattern,
-        "rates": [float(r) for r in rates],
-        "seed": _int_in(sweep, "seed", 1, 0, 2**31),
-        "width": _int_in(sweep, "width", 6, 2, 32),
-        "height": _int_in(sweep, "height", 6, 2, 32),
-        "slot_table_size": _int_in(sweep, "slot_table_size", 128, 2, 1024),
-        "warmup": _int_in(sweep, "warmup", 1500, 0, 200_000),
-        "measure": _int_in(sweep, "measure", 4000, 1, 1_000_000),
-    }
-    n_points = len(schemes) * len(rates)
+    if hetero:
+        from repro.core.decision import DECISION_POLICIES
+        from repro.hetero import CPU_BENCHMARKS, GPU_BENCHMARKS
+        cpus = sweep.get("cpu_benchmarks")
+        _require(isinstance(cpus, list) and cpus
+                 and all(c in CPU_BENCHMARKS for c in cpus),
+                 "sweep.cpu_benchmarks must be a non-empty list from "
+                 f"{tuple(CPU_BENCHMARKS)}")
+        gpus = sweep.get("gpu_benchmarks")
+        _require(isinstance(gpus, list) and gpus
+                 and all(g in GPU_BENCHMARKS for g in gpus),
+                 "sweep.gpu_benchmarks must be a non-empty list from "
+                 f"{tuple(GPU_BENCHMARKS)}")
+        phased = sweep.get("phased", False)
+        _require(isinstance(phased, bool),
+                 "sweep.phased must be a boolean")
+        policy = sweep.get("policy", "slack")
+        _require(policy in DECISION_POLICIES,
+                 f"sweep.policy must be one of {DECISION_POLICIES}")
+        spec_sweep = {
+            "schemes": list(schemes),
+            "cpu_benchmarks": list(cpus), "gpu_benchmarks": list(gpus),
+            "phased": phased, "policy": policy,
+            "seed": _int_in(sweep, "seed", 1, 0, 2**31),
+            "width": _int_in(sweep, "width", 6, 2, 32),
+            "height": _int_in(sweep, "height", 6, 2, 32),
+            "warmup": _int_in(sweep, "warmup", 1500, 0, 200_000),
+            "measure": _int_in(sweep, "measure", 4000, 1, 1_000_000),
+        }
+        n_points = len(schemes) * len(cpus) * len(gpus)
+    else:
+        pattern = sweep.get("pattern", "uniform_random")
+        _require(pattern in PATTERNS,
+                 f"sweep.pattern must be one of {PATTERNS}")
+        rates = sweep.get("rates")
+        _require(isinstance(rates, list) and rates
+                 and all(isinstance(r, (int, float))
+                         and not isinstance(r, bool)
+                         and 0 < r <= 1.0 for r in rates),
+                 "sweep.rates must be a non-empty list of numbers in (0, 1]")
+        spec_sweep = {
+            "schemes": list(schemes), "pattern": pattern,
+            "rates": [float(r) for r in rates],
+            "seed": _int_in(sweep, "seed", 1, 0, 2**31),
+            "width": _int_in(sweep, "width", 6, 2, 32),
+            "height": _int_in(sweep, "height", 6, 2, 32),
+            "slot_table_size": _int_in(sweep, "slot_table_size", 128, 2, 1024),
+            "warmup": _int_in(sweep, "warmup", 1500, 0, 200_000),
+            "measure": _int_in(sweep, "measure", 4000, 1, 1_000_000),
+        }
+        n_points = len(schemes) * len(rates)
     _require(n_points <= cfg.max_points_per_job,
              f"job resolves to {n_points} points, over the per-job cap "
              f"of {cfg.max_points_per_job}")
@@ -194,6 +230,14 @@ def validate_request(body: Dict, cfg: ServiceConfig) -> Dict:
 def points_for(spec: Dict) -> List[Dict]:
     """The resolved point grid for a validated job spec."""
     sweep = spec["sweep"]
+    if "cpu_benchmarks" in sweep:
+        return build_hetero_points(
+            sweep["schemes"], sweep["cpu_benchmarks"],
+            sweep["gpu_benchmarks"], seed=sweep["seed"],
+            width=sweep["width"], height=sweep["height"],
+            warmup=sweep["warmup"], measure=sweep["measure"],
+            phased=sweep.get("phased", False),
+            policy=sweep.get("policy", "slack"))
     return build_sweep_points(
         sweep["schemes"], sweep["pattern"], sweep["rates"],
         seed=sweep["seed"], width=sweep["width"], height=sweep["height"],

@@ -293,6 +293,13 @@ class Simulator:
                              f"expected one of {self.ENGINES}")
         self.cycle: int = 0
         self.rng: np.random.Generator = np.random.default_rng(seed)
+        #: fabric-side stream (slot probes, arbitration tie breaks).
+        #: Separate from :attr:`rng` so that the network's randomness is
+        #: a function of the seed alone, not of how many draws the
+        #: workload endpoints made — replaying a recorded trace then
+        #: reproduces the original run's slot choices exactly.
+        self.net_rng: np.random.Generator = np.random.default_rng(
+            np.random.SeedSequence(seed).spawn(1)[0])
         self.engine = engine
         #: trace recorder shared by instrumented components; replaced by
         #: :meth:`repro.obs.attach.Observability.attach` on traced runs.
@@ -357,7 +364,8 @@ class Simulator:
         """Kernel state: the cycle counter and the full bit-generator
         state of the global RNG (plain ints/dicts, picklable)."""
         return {"cycle": self.cycle,
-                "rng": self.rng.bit_generator.state}
+                "rng": self.rng.bit_generator.state,
+                "net_rng": self.net_rng.bit_generator.state}
 
     def load_state_dict(self, state: Dict) -> None:
         """Restore kernel state in place.
@@ -367,6 +375,8 @@ class Simulator:
         """
         self.cycle = int(state["cycle"])
         self.rng.bit_generator.state = state["rng"]
+        if "net_rng" in state:
+            self.net_rng.bit_generator.state = state["net_rng"]
 
     # ------------------------------------------------------------------
     # sleep management (fast engine)

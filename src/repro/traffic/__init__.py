@@ -1,12 +1,23 @@
 """Synthetic traffic generation and traces (S14)."""
 
+import warnings
+
 from repro.traffic.patterns import (
     PATTERN_NAMES,
     TrafficPattern,
     make_pattern,
 )
 from repro.traffic.synthetic import SyntheticSource, attach_synthetic_sources
-from repro.traffic.trace import TraceEvent, TraceRecorder, TraceSource
+from repro.traffic.trace import (
+    TRACE_VERSION,
+    MessageTraceRecorder,
+    TraceEvent,
+    TraceFormatError,
+    TraceSource,
+    attach_trace_sources,
+    load_trace,
+    upgrade_trace,
+)
 
 __all__ = [
     "PATTERN_NAMES",
@@ -14,7 +25,23 @@ __all__ = [
     "make_pattern",
     "SyntheticSource",
     "attach_synthetic_sources",
+    "TRACE_VERSION",
+    "MessageTraceRecorder",
     "TraceEvent",
+    "TraceFormatError",
     "TraceRecorder",
     "TraceSource",
+    "attach_trace_sources",
+    "load_trace",
+    "upgrade_trace",
 ]
+
+
+def __getattr__(name: str):
+    if name == "TraceRecorder":
+        warnings.warn(
+            "repro.traffic.TraceRecorder was renamed MessageTraceRecorder "
+            "(it shadowed the unrelated repro.obs.TraceRecorder); update "
+            "the import", DeprecationWarning, stacklevel=2)
+        return MessageTraceRecorder
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

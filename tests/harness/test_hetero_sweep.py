@@ -1,0 +1,79 @@
+"""Heterogeneous and trace-replay point families in supervised sweeps."""
+
+from __future__ import annotations
+
+from repro.config import CheckpointConfig, SupervisorConfig
+from repro.harness.supervisor import (
+    build_hetero_points,
+    build_replay_points,
+    load_results,
+    run_supervised_sweep,
+    sweep_config_hash,
+)
+from repro.hetero import HeteroSystem
+from repro.traffic import MessageTraceRecorder
+
+
+def _sup(**kw):
+    kw.setdefault("timeout_s", 120.0)
+    kw.setdefault("max_retries", 1)
+    kw.setdefault("backoff_s", 0.01)
+    kw.setdefault("backoff_cap_s", 0.05)
+    return SupervisorConfig(enabled=True, **kw)
+
+
+def _record_trace(tmp_path):
+    rec = MessageTraceRecorder()
+    HeteroSystem("hybrid_tdm_vc4", "ART", "BLACKSCHOLES", seed=3) \
+        .run(warmup=300, measure=700, recorder=rec)
+    path = str(tmp_path / "sweep.trace.jsonl")
+    rec.save(path)
+    return path
+
+
+class TestPointBuilders:
+    def test_hetero_grid_shape(self):
+        pts = build_hetero_points(["packet_vc4", "hybrid_tdm_vc4"],
+                                  ["ART", "EQUAKE"], ["BLACKSCHOLES"],
+                                  warmup=100, measure=200)
+        assert len(pts) == 4
+        assert all("cpu_benchmark" in p and "gpu_benchmark" in p
+                   for p in pts)
+        assert all("pattern" not in p for p in pts)
+
+    def test_hetero_points_hashable(self):
+        pts = build_hetero_points(["packet_vc4"], ["ART"], ["BLACKSCHOLES"],
+                                  phased=True)
+        assert sweep_config_hash(pts, CheckpointConfig())
+
+    def test_replay_points_carry_abs_trace_path(self, tmp_path):
+        path = _record_trace(tmp_path)
+        pts = build_replay_points(["packet_vc4", "hybrid_tdm_vc4"], path)
+        assert len(pts) == 2
+        assert all(p["trace"] == path for p in pts)
+
+
+class TestSupervisedHetero:
+    def test_hetero_sweep_completes(self, tmp_path):
+        pts = build_hetero_points(["packet_vc4", "hybrid_tdm_vc4"],
+                                  ["ART"], ["BLACKSCHOLES"],
+                                  warmup=300, measure=700, phased=True)
+        summary = run_supervised_sweep(pts, str(tmp_path / "run"), _sup())
+        assert summary["completed"] == 2 and not summary["failures"]
+        rows = [r["row"] for r in load_results(str(tmp_path / "run"))]
+        by_scheme = {r["scheme"]: r for r in rows}
+        assert by_scheme["packet_vc4"]["cs_fraction"] == 0
+        assert by_scheme["hybrid_tdm_vc4"]["cs_fraction"] > 0
+        assert all(r["cpu_benchmark"] == "ART" for r in rows)
+        assert all(r["messages_delivered"] > 0 for r in rows)
+
+    def test_replay_sweep_completes(self, tmp_path):
+        path = _record_trace(tmp_path)
+        pts = build_replay_points(["packet_vc4", "hybrid_tdm_vc4"], path,
+                                  warmup=300, measure=700)
+        summary = run_supervised_sweep(pts, str(tmp_path / "run"), _sup())
+        assert summary["completed"] == 2 and not summary["failures"]
+        rows = [r["row"] for r in load_results(str(tmp_path / "run"))]
+        by_scheme = {r["scheme"]: r for r in rows}
+        assert by_scheme["hybrid_tdm_vc4"]["cs_fraction"] > 0
+        assert by_scheme["packet_vc4"]["cs_fraction"] == 0

@@ -1,0 +1,141 @@
+"""Phase-structured workload layer: phases, kernel bursts, hotspots."""
+
+import numpy as np
+import pytest
+
+from repro.hetero import (
+    CPU_BENCHMARKS,
+    GPU_BENCHMARKS,
+    HeteroSystem,
+    HotspotLayout,
+    PhaseConfig,
+    PhasedCPUCoreEndpoint,
+    PhasedGPUCoreEndpoint,
+)
+from repro.config import scheme_config
+from repro.hetero.tiles import default_layout
+from repro.network.topology import Mesh
+
+
+def _layout(width=6, height=6):
+    cfg = scheme_config("packet_vc4", width=width, height=height)
+    return cfg, default_layout(Mesh(width, height))
+
+
+class TestPhaseConfig:
+    def test_defaults_valid(self):
+        PhaseConfig()
+
+    @pytest.mark.parametrize("kw", [
+        {"cpu_phase_len": 0},
+        {"gpu_kernel_len": 0},
+        {"gpu_gap_len": -1},
+        {"hotspot_bias": 1.5},
+        {"hotspot_fraction": 0.0},
+    ])
+    def test_bad_values_rejected(self, kw):
+        with pytest.raises(ValueError):
+            PhaseConfig(**kw)
+
+
+class TestPhasedCPU:
+    def test_miss_scale_alternates(self):
+        cfg, layout = _layout()
+        pc = PhaseConfig(cpu_phase_len=100)
+        ep = PhasedCPUCoreEndpoint(layout.cpu_nodes[0], cfg, layout,
+                                   CPU_BENCHMARKS["ART"],
+                                   np.random.default_rng(0), pc)
+        base = ep.phase_index(0)
+        scales = {ep.miss_scale(c) for c in range(0, 400)}
+        assert scales == {pc.cpu_compute_scale, pc.cpu_memory_scale}
+        assert ep.phase_index(0) == base            # pure function of cycle
+        # consecutive phases flip parity
+        assert ep.miss_scale(0) != ep.miss_scale(pc.cpu_phase_len)
+
+    def test_offsets_decorrelate_nodes(self):
+        cfg, layout = _layout()
+        pc = PhaseConfig()
+        eps = [PhasedCPUCoreEndpoint(n, cfg, layout, CPU_BENCHMARKS["ART"],
+                                     np.random.default_rng(0), pc)
+               for n in layout.cpu_nodes]
+        assert len({e._phase_offset for e in eps}) > 1
+
+
+class TestPhasedGPU:
+    def test_kernel_window_lengths(self):
+        cfg, layout = _layout()
+        pc = PhaseConfig(gpu_kernel_len=50, gpu_gap_len=10)
+        ep = PhasedGPUCoreEndpoint(layout.accel_nodes[0], cfg, layout,
+                                   GPU_BENCHMARKS["BLACKSCHOLES"],
+                                   np.random.default_rng(0), pc)
+        period = pc.gpu_kernel_len + pc.gpu_gap_len
+        active = sum(ep.kernel_active(c) for c in range(10 * period))
+        assert active == 10 * pc.gpu_kernel_len
+
+    def test_zero_gap_always_active(self):
+        cfg, layout = _layout()
+        pc = PhaseConfig(gpu_kernel_len=50, gpu_gap_len=0)
+        ep = PhasedGPUCoreEndpoint(layout.accel_nodes[0], cfg, layout,
+                                   GPU_BENCHMARKS["BLACKSCHOLES"],
+                                   np.random.default_rng(0), pc)
+        assert all(ep.kernel_active(c) for c in range(500))
+
+
+class TestHotspotLayout:
+    def test_hot_banks_are_nearest_memory(self):
+        _cfg, layout = _layout()
+        pc = PhaseConfig(hotspot_fraction=0.25)
+        hot = HotspotLayout(layout, pc, np.random.default_rng(0))
+        assert hot.hot_banks
+        assert set(hot.hot_banks) <= set(layout.l2_nodes)
+        worst_hot = max(min(layout.mesh.hops(b, m)
+                            for m in layout.mem_nodes)
+                        for b in hot.hot_banks)
+        cold = [b for b in layout.l2_nodes if b not in hot.hot_banks]
+        best_cold = min(min(layout.mesh.hops(b, m)
+                            for m in layout.mem_nodes)
+                        for b in cold)
+        assert worst_hot <= best_cold
+
+    def test_full_bias_always_hot(self):
+        _cfg, layout = _layout()
+        hot = HotspotLayout(layout, PhaseConfig(hotspot_bias=1.0),
+                            np.random.default_rng(0))
+        for addr in range(200):
+            assert hot.bank_for_address(addr) in hot.hot_banks
+
+    def test_zero_bias_delegates(self):
+        _cfg, layout = _layout()
+        hot = HotspotLayout(layout, PhaseConfig(hotspot_bias=0.0),
+                            np.random.default_rng(0))
+        for addr in range(50):
+            assert hot.bank_for_address(addr) == \
+                layout.bank_for_address(addr)
+
+    def test_proxy_delegates_attributes(self):
+        _cfg, layout = _layout()
+        hot = HotspotLayout(layout, PhaseConfig(), np.random.default_rng(0))
+        assert hot.cpu_nodes == layout.cpu_nodes
+        assert hot.mesh is layout.mesh
+
+
+class TestPhasedSystem:
+    def test_phased_run_differs_from_plain(self):
+        plain = HeteroSystem("hybrid_tdm_vc4", "ART", "BLACKSCHOLES",
+                             seed=3).run(warmup=400, measure=1200)
+        phased = HeteroSystem("hybrid_tdm_vc4", "ART", "BLACKSCHOLES",
+                              seed=3, phases=PhaseConfig()) \
+            .run(warmup=400, measure=1200)
+        assert phased.cpu_instructions > 0
+        assert phased.gpu_iterations > 0
+        assert (phased.cs_fraction, phased.cpu_ipc) \
+            != (plain.cs_fraction, plain.cpu_ipc)
+
+    def test_phased_run_deterministic(self):
+        kw = dict(seed=7, phases=PhaseConfig())
+        a = HeteroSystem("packet_vc4", "ART", "BLACKSCHOLES", **kw) \
+            .run(warmup=300, measure=900)
+        b = HeteroSystem("packet_vc4", "ART", "BLACKSCHOLES", **kw) \
+            .run(warmup=300, measure=900)
+        assert a.cpu_ipc == b.cpu_ipc
+        assert a.messages_delivered == b.messages_delivered

@@ -100,6 +100,61 @@ class TestValidateRequest:
         assert J.spec_hash(a) != J.spec_hash(b)
 
 
+def _hetero_body(**sweep_overrides):
+    sweep = {"schemes": ["packet_vc4", "hybrid_tdm_vc4"],
+             "cpu_benchmarks": ["ART"], "gpu_benchmarks": ["BLACKSCHOLES"],
+             "warmup": 100, "measure": 200}
+    sweep.update(sweep_overrides)
+    return {"tenant": "acme", "qos": "bulk", "sweep": sweep}
+
+
+class TestHeteroSweepFamily:
+    def test_valid_hetero_body_normalises(self):
+        spec = J.validate_request(_hetero_body(), _cfg())
+        sweep = spec["sweep"]
+        assert sweep["cpu_benchmarks"] == ["ART"]
+        assert sweep["gpu_benchmarks"] == ["BLACKSCHOLES"]
+        assert sweep["phased"] is False            # default filled in
+        assert sweep["policy"] == "slack"
+        assert "pattern" not in sweep and "rates" not in sweep
+
+    def test_points_resolve_to_hetero_grid(self):
+        spec = J.validate_request(_hetero_body(phased=True), _cfg())
+        pts = J.points_for(spec)
+        assert len(pts) == 2
+        assert all(p["cpu_benchmark"] == "ART" for p in pts)
+        assert all(p["phased"] for p in pts)
+
+    @pytest.mark.parametrize("sweep_mutate", [
+        {"cpu_benchmarks": []},
+        {"cpu_benchmarks": ["NOT_A_BENCHMARK"]},
+        {"gpu_benchmarks": ["NOT_A_BENCHMARK"]},
+        {"gpu_benchmarks": "BLACKSCHOLES"},
+        {"phased": "yes"},
+        {"policy": "warp_drive"},
+        {"rates": [0.1]},                  # families are exclusive
+        {"pattern": "uniform_random"},
+        {"slot_table_size": 64},           # synthetic-only knob
+    ])
+    def test_rejects_bad_hetero_fields(self, sweep_mutate):
+        body = _hetero_body()
+        body["sweep"].update(sweep_mutate)
+        with pytest.raises(JobSpecError):
+            J.validate_request(body, _cfg())
+
+    def test_hetero_hash_differs_from_synthetic(self):
+        a = J.validate_request(_body(), _cfg())
+        b = J.validate_request(_hetero_body(), _cfg())
+        assert J.spec_hash(a) != J.spec_hash(b)
+
+    def test_hetero_grid_respects_point_cap(self):
+        body = _hetero_body(
+            cpu_benchmarks=["ART", "EQUAKE", "SWIM"],
+            gpu_benchmarks=["BLACKSCHOLES", "HOTSPOT"])
+        with pytest.raises(JobSpecError, match="cap"):
+            J.validate_request(body, _cfg(max_points_per_job=10))
+
+
 class TestJobStore:
     def _spec(self):
         return J.validate_request(_body(), _cfg())

@@ -312,3 +312,35 @@ class TestExitCodes:
         monkeypatch.setattr(cli, "cmd_sweep", boom)
         with pytest.raises(RuntimeError):
             cli.main(["sweep"])
+
+
+class TestHeteroCLI:
+    def test_record_replay_roundtrip(self, tmp_path, capsys):
+        prefix = str(tmp_path / "mix")
+        rc = main(["hetero", "ART", "BLACKSCHOLES",
+                   "--schemes", "hybrid_tdm_vc4",
+                   "--warmup", "300", "--measure", "800",
+                   "--record", prefix])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and prefix in out
+        rc = main(["hetero", "--replay", prefix,
+                   "--schemes", "packet_vc4,hybrid_tdm_vc4",
+                   "--warmup", "300", "--measure", "800"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Trace replay" in out
+        assert "packet_vc4" in out and "hybrid_tdm_vc4" in out
+
+    def test_phased_flag_runs(self, capsys):
+        rc = main(["hetero", "ART", "BLACKSCHOLES",
+                   "--schemes", "packet_vc4", "--phased",
+                   "--policy", "feedback",
+                   "--warmup", "200", "--measure", "500"])
+        assert rc == 0
+        assert "Heterogeneous mix" in capsys.readouterr().out
+
+    def test_bench_unknown_scenario_is_config_error(self, capsys):
+        rc = main(["bench", "--scenarios", "not_a_scenario"])
+        assert rc == 2
+        assert "unknown bench scenario" in capsys.readouterr().err

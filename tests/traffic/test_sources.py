@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.traffic import (
+    MessageTraceRecorder,
     SyntheticSource,
     TraceEvent,
-    TraceRecorder,
     attach_synthetic_sources,
     make_pattern,
 )
@@ -53,7 +53,7 @@ class TestSyntheticSource:
 
 class TestTrace:
     def test_record_save_load_roundtrip(self, tmp_path):
-        rec = TraceRecorder()
+        rec = MessageTraceRecorder()
         from repro.network.flit import Message, MessageClass
         msg = Message(src=1, dst=2, mclass=MessageClass.DATA, size_flits=5,
                       create_cycle=0)
@@ -61,9 +61,9 @@ class TestTrace:
         rec.record(20, msg)
         path = str(tmp_path / "trace.jsonl")
         rec.save(path)
-        events = TraceRecorder.load(path)
-        assert events == [TraceEvent(10, 1, 2, 0, 5),
-                          TraceEvent(20, 1, 2, 0, 5)]
+        events = MessageTraceRecorder.load(path)
+        assert events == [TraceEvent(10, 1, 2, 0, 5, {}),
+                          TraceEvent(20, 1, 2, 0, 5, {})]
 
     def test_replay_delivers_same_messages(self):
         events = [TraceEvent(5, 0, 3, 1, 1), TraceEvent(9, 0, 3, 0, 5),

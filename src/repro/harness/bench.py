@@ -92,6 +92,17 @@ SCENARIOS: List[BenchScenario] = [
     BenchScenario(name="mesh16", rate=0.05, stop_cycle=250, cycles=16000,
                   width=16, height=16, target_ratio=3.0,
                   batch_target=10.0, repeats=2),
+    # 32x32 VCT mesh: the vectorized active-window shape.  vc_gating
+    # keeps all 1024 routers awake every cycle (utilisation sampling),
+    # so fast/legacy pay per-object Python on every loaded cycle while
+    # the batch engine steps the whole network as array ops — this row
+    # is where the SoA datapath, not the fast-forward skip, carries the
+    # batch ratio.  fast/legacy cannot separate here (nothing sleeps),
+    # so its target is only a no-overhead guard.  Legacy at 2000+
+    # components is slow by construction; short run, two rounds.
+    BenchScenario(name="mesh32", scheme="hybrid_tdm_vct", rate=0.02,
+                  stop_cycle=150, cycles=4000, width=32, height=32,
+                  target_ratio=0.9, batch_target=4.0, repeats=2),
     # ROADMAP item 3 shapes.  hetero_mix keeps every endpoint awake
     # every cycle, so the engines cannot separate — the targets only
     # guard against the fast/batch machinery adding overhead to the

@@ -48,6 +48,12 @@ class PacketRouter(SimObject):
 
     _sim_can_sleep = True
 
+    #: batch-engine hook: the vectorized stepper installs a callback
+    #: here (hybrid routers only) so a mid-window ``schedule_cs_injection``
+    #: reclassifies the router as irregular.  Scheduler metadata, never
+    #: snapshot state.
+    _vector_notify = None
+
     def __init__(self, node: int, cfg: NetworkConfig, mesh: Mesh) -> None:
         self.node = node
         self.cfg = cfg

@@ -45,18 +45,39 @@ The *cheap gate* run every cycle is O(1): no pending wakes and the
 awake-sleepable list reduced to exactly the never-idle gating routers.
 Only when it passes does the engine refresh the compiled layout and run
 the vectorized whole-network reduction plus the per-protocol checks.
+
+Quiescence probes also carry *hysteresis*: on always-loaded scenarios
+the full check fails every cycle and its O(routers) proof cost makes
+batch slower than fast.  After :data:`~BatchEngine.PROBE_FAIL_LIMIT`
+consecutive full-check failures the engine suspends full checks for
+:data:`~BatchEngine.PROBE_SUSPEND` cycles at a time; any drain window
+or cheap-gate failure (i.e. a change in the activity picture) re-arms
+them immediately.
+
+Loaded cycles additionally route through the opportunistic vectorized
+window executor (:class:`~repro.sim.batch.stepper.VectorStepper`),
+which steps busy stretches as whole-network array operations and is
+bit-exact by construction — see that module's documentation.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional
 
 from repro.core.slot_sizing import SlotSizeController
 from repro.sim.batch.layout import CompiledLayout
+from repro.sim.batch.stepper import VectorStepper
 
 
 class BatchEngine:
     """Fast-forward controller bound to one simulator (see module doc)."""
+
+    #: consecutive full-check failures before probes are suspended
+    PROBE_FAIL_LIMIT = 8
+    #: cycles between full checks while suspended (periodic re-arm so a
+    #: scenario that *does* eventually drain still gets its skips)
+    PROBE_SUSPEND = 256
 
     def __init__(self, sim) -> None:
         self.sim = sim
@@ -66,11 +87,17 @@ class BatchEngine:
         self._gating_routers: List = []
         self._slot_ctrls: List[SlotSizeController] = []
         self._blockers: List = []
+        self.stepper = VectorStepper(self, sim)
+        self._probe_fails = 0
+        self._probe_resume = 0
         #: introspection counters (asserted on by the batch-engine tests)
         self.skips = 0
         self.cycles_skipped = 0
         self.full_checks = 0
         self.steps = 0
+        self.probes_suppressed = 0
+        self.t_run = 0.0
+        self.t_probe = 0.0
 
     # ------------------------------------------------------------------
     # compilation
@@ -106,6 +133,7 @@ class BatchEngine:
             self._layout = CompiledLayout(self._net)
         else:
             self._layout = None
+        self.stepper.compile(self._net, self._layout)
 
     @property
     def layout(self) -> Optional[CompiledLayout]:
@@ -128,10 +156,28 @@ class BatchEngine:
             self._compile()
         end = sim.cycle + cycles
         step = sim._step
-        while sim.cycle < end:
-            if self._try_skip(end) == 0:
+        stepper = self.stepper
+        t0 = perf_counter()
+        if self._blockers and not stepper.supported:
+            # unmodelled always-on objects block every skip and the
+            # vector lane is off for this network: the batch machinery
+            # can never engage, so run the plain fast-engine loop
+            # without paying the per-cycle gate checks (this is what
+            # keeps batch ~= fast on always-busy closed-loop scenarios
+            # like hetero_mix)
+            self.steps += end - sim.cycle
+            for _ in range(end - sim.cycle):
                 step()
-                self.steps += 1
+            self.t_run += perf_counter() - t0
+            return
+        while sim.cycle < end:
+            if self._try_skip(end) > 0:
+                continue
+            if stepper.maybe_run_window(end) > 0:
+                continue
+            step()
+            self.steps += 1
+        self.t_run += perf_counter() - t0
 
     def _try_skip(self, end: int) -> int:
         """Skip to the next event if provably safe; returns cycles
@@ -146,9 +192,32 @@ class BatchEngine:
             return 0           # an event just landed; lists are stale
         if len(sim._awake_sleepables) != len(self._gating_routers):
             return 0           # some router/NI is awake with real work
+        # hysteresis: on always-loaded runs the full check fails every
+        # cycle; after PROBE_FAIL_LIMIT consecutive failures only probe
+        # every PROBE_SUSPEND cycles (cheap-gate failures re-arm above)
+        cycle = sim.cycle
+        if self._probe_fails >= self.PROBE_FAIL_LIMIT \
+                and cycle < self._probe_resume:
+            self.probes_suppressed += 1
+            return 0
         # full check (activity transitions only) ----------------------
         self.full_checks += 1
-        cycle = sim.cycle
+        t0 = perf_counter()
+        try:
+            k = self._full_check(end, cycle)
+        finally:
+            self.t_probe += perf_counter() - t0
+        if k == 0:
+            self._probe_fails += 1
+            if self._probe_fails >= self.PROBE_FAIL_LIMIT:
+                self._probe_resume = cycle + self.PROBE_SUSPEND
+        else:
+            self._probe_fails = 0
+        return k
+
+    def _full_check(self, end: int, cycle: int) -> int:
+        """The O(routers) quiescence proof; returns cycles skipped."""
+        sim = self.sim
         horizon = end
         for ctrl in self._slot_ctrls:
             if ctrl._resize_pending:
@@ -156,7 +225,10 @@ class BatchEngine:
         for r in self._gating_routers:
             g = r.gating
             if g._draining >= 0:
-                return 0       # drain completion is checked every tick
+                # drain completion is checked every tick; a drain also
+                # re-arms suppressed probes (activity is about to change)
+                self._probe_fails = 0
+                return 0
             if not r.sim_quiescent(cycle):
                 return 0
             if g._next_epoch < horizon:
@@ -182,7 +254,31 @@ class BatchEngine:
         """Skip/step counters plus the layout occupancy summary."""
         out = {"skips": self.skips, "cycles_skipped": self.cycles_skipped,
                "full_checks": self.full_checks, "steps": self.steps,
-               "compiled": self._layout is not None}
+               "probes_suppressed": self.probes_suppressed,
+               "compiled": self._layout is not None,
+               "stepper": self.stepper.stats()}
         if self._layout is not None:
             out["layout"] = self._layout.summary()
         return out
+
+    def phase_profile(self) -> dict:
+        """Wall-clock breakdown of where :meth:`run` time went:
+        vectorized window stepping, object-side spill stepping inside
+        windows, quiescence probing, and the residual per-object
+        stepping (which includes the fast-forward bookkeeping — the
+        closed-form skip itself is O(routers) and negligible)."""
+        st = self.stepper
+        vector = max(0.0, st.t_window - st.t_spill)
+        other = max(0.0, self.t_run - st.t_window - self.t_probe)
+        return {
+            "total": self.t_run,
+            "vector_step": vector,
+            "spill_step": st.t_spill,
+            "quiescence_probe": self.t_probe,
+            "object_step": other,
+            "windows": st.windows,
+            "vector_cycles": st.vector_cycles,
+            "spill_router_cycles": st.spill_router_cycles,
+            "fast_forward_skips": self.skips,
+            "cycles_skipped": self.cycles_skipped,
+        }

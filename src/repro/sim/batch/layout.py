@@ -33,6 +33,15 @@ Array shapes (R routers, P ports, V max VCs per port, N interfaces):
 ``ni_backlog``        (N,)       queued packets + open reassembly VCs
 ``ni_inflight``       (N,)       eject/credit pipe contents + CS holds
 ====================  =========  =========================================
+
+A second family of arrays — the ``m_*`` *mirror* (head-flit request
+tables, VC-allocation freedom, downstream ownership, credit counts,
+round-robin pointers, TDM slot-ownership masks) — backs the vectorized
+active-window datapath in :mod:`repro.sim.batch.stepper`.  Unlike the
+derived views above these are dual-written: the stepper updates them at
+the same program point as the matching object mutation, so they are
+exact every cycle while a window is open (and meaningless outside one;
+each window entry re-derives them via :meth:`CompiledLayout.derive_router`).
 """
 
 from __future__ import annotations
@@ -40,6 +49,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 import numpy as np
+
+from repro.network.flit import FlitKind
+
+#: sentinel "no head flit" readiness (far beyond any reachable cycle)
+NO_HEAD = 1 << 62
 
 
 def _pipe_len(link) -> int:
@@ -83,6 +97,22 @@ class CompiledLayout:
         self.ni_inflight = np.zeros(self.n_interfaces, dtype=np.int32)
         #: number of refresh passes (introspection for tests/bench)
         self.refreshes = 0
+
+        # vector-stepper mirror arrays (repro.sim.batch.stepper): unlike
+        # the derived views above, these are *dual-written* — the stepper
+        # updates them scalar-by-scalar at the same moment it applies the
+        # matching object mutation, so they are exact at every cycle
+        # boundary inside a vectorized window.  Allocated lazily by
+        # :meth:`ensure_mirror` (plain batch runs never pay for them).
+        self.m_head_ready: Optional[np.ndarray] = None  # (R,P,V) int64
+        self.m_head_ok: Optional[np.ndarray] = None     # (R,P,V) bool
+        self.m_free: Optional[np.ndarray] = None        # (R,P,V) bool
+        self.m_own_ip: Optional[np.ndarray] = None      # (R,P,V) int64
+        self.m_own_iv: Optional[np.ndarray] = None      # (R,P,V) int64
+        self.m_credits: Optional[np.ndarray] = None     # (R,P,V) int64
+        self.m_saptr: Optional[np.ndarray] = None       # (R,P)   int64
+        self.m_has_link: Optional[np.ndarray] = None    # (R,P)   bool
+        self.m_reserved: Optional[np.ndarray] = None    # (R,P,S) bool
         self.refresh()
 
     # ------------------------------------------------------------------
@@ -150,6 +180,100 @@ class CompiledLayout:
                     elif row:
                         n += 1
         return n
+
+    # ------------------------------------------------------------------
+    # vector-stepper mirror (see repro.sim.batch.stepper)
+    # ------------------------------------------------------------------
+    def ensure_mirror(self) -> None:
+        """Allocate the dual-written mirror arrays (idempotent).
+
+        Shapes follow the derived views; sentinel conventions:
+        ``m_head_ready == NO_HEAD`` means the VC FIFO is empty,
+        ``m_own_ip == -1`` means the downstream VC is unowned."""
+        if self.m_head_ready is not None:
+            return
+        shape_rpv = (self.n_routers, self.n_ports, self.n_vcs)
+        shape_rp = (self.n_routers, self.n_ports)
+        self.m_head_ready = np.full(shape_rpv, NO_HEAD, dtype=np.int64)
+        self.m_head_ok = np.zeros(shape_rpv, dtype=bool)
+        self.m_free = np.ones(shape_rpv, dtype=bool)
+        self.m_own_ip = np.full(shape_rpv, -1, dtype=np.int64)
+        self.m_own_iv = np.full(shape_rpv, -1, dtype=np.int64)
+        self.m_credits = np.zeros(shape_rpv, dtype=np.int64)
+        self.m_saptr = np.zeros(shape_rp, dtype=np.int64)
+        self.m_has_link = np.zeros(shape_rp, dtype=bool)
+        for ri, r in enumerate(self.net.routers):
+            for p in range(self.n_ports):
+                self.m_has_link[ri, p] = r.out_links[p] is not None
+
+    def derive_router(self, ri: int, r) -> None:
+        """Re-derive every mirror row of router *ri* from the object.
+
+        Called at window entry for every router and after each spilled
+        (object-stepped) router cycle, re-synchronising the arrays with
+        whatever the per-object code mutated."""
+        hr = self.m_head_ready
+        hk = self.m_head_ok
+        fr = self.m_free
+        head_kind = FlitKind.HEAD
+        head_tail_kind = FlitKind.HEAD_TAIL
+        for p, port in enumerate(r.in_ports):
+            for v, vc in enumerate(port.vcs):
+                fifo = vc.fifo
+                if fifo:
+                    f = fifo[0]
+                    hr[ri, p, v] = f.ready_cycle
+                    kind = f.kind
+                    hk[ri, p, v] = (kind is head_kind
+                                    or kind is head_tail_kind)
+                else:
+                    hr[ri, p, v] = NO_HEAD
+                    hk[ri, p, v] = False
+                fr[ri, p, v] = vc.out_vc is None
+        oip = self.m_own_ip
+        oiv = self.m_own_iv
+        cr = self.m_credits
+        for p in range(self.n_ports):
+            row = r.credits[p]
+            for v, n in enumerate(row):
+                cr[ri, p, v] = n
+            for v, owner in enumerate(r.out_vc_owner[p]):
+                if owner is None:
+                    oip[ri, p, v] = -1
+                    oiv[ri, p, v] = -1
+                else:
+                    oip[ri, p, v] = owner[0]
+                    oiv[ri, p, v] = owner[1]
+            self.m_saptr[ri, p] = r._sa_ptr[p]
+        res = self.m_reserved
+        if res is not None:
+            slot_state = getattr(r, "slot_state", None)
+            if slot_state is not None:
+                for p in range(self.n_ports):
+                    row = slot_state.out_owner[p]
+                    for s in range(res.shape[2]):
+                        res[ri, p, s] = row[s] != -1
+
+    def derive_reserved(self, clock) -> None:
+        """(Re)build the TDM slot-ownership mask for the whole network.
+
+        ``m_reserved[ri, p, s]`` mirrors ``out_owner[p][s] != -1`` over
+        the *active* wheel; rebuilt whenever the stepper observes a
+        ``(generation, active)`` change on the shared slot clock."""
+        active = clock.active
+        res = self.m_reserved
+        if res is None or res.shape[2] != active:
+            res = self.m_reserved = np.zeros(
+                (self.n_routers, self.n_ports, active), dtype=bool)
+        else:
+            res[:] = False
+        for ri, r in enumerate(self.net.routers):
+            out_owner = r.slot_state.out_owner
+            for p in range(self.n_ports):
+                row = out_owner[p]
+                for s in range(active):
+                    if row[s] != -1:
+                        res[ri, p, s] = True
 
     # ------------------------------------------------------------------
     # vectorized whole-network predicates

@@ -180,6 +180,20 @@ class ReplicaSet:
 
     def stats(self) -> dict:
         """Aggregate throughput/coverage over the set."""
+        per_replica = [r.sim._batch.stats() if r.sim._batch else None
+                       for r in self.replicas]
+        # set-wide engine totals: how much of the whole campaign ran as
+        # fast-forward skips vs vectorized windows vs object stepping
+        engine = {"steps": 0, "skips": 0, "cycles_skipped": 0,
+                  "windows": 0, "vector_cycles": 0,
+                  "spill_router_cycles": 0}
+        for st in per_replica:
+            if st is None:
+                continue
+            for key in ("steps", "skips", "cycles_skipped"):
+                engine[key] += st[key]
+            for key in ("windows", "vector_cycles", "spill_router_cycles"):
+                engine[key] += st["stepper"][key]
         return {
             "replicas": len(self.replicas),
             "active": self.active_count,
@@ -187,6 +201,6 @@ class ReplicaSet:
             "retired": [{"index": r.index, "seed": r.seed,
                          "cycle": r.error.cycle}
                         for r in self.replicas if r.error is not None],
-            "batch": [r.sim._batch.stats() if r.sim._batch else None
-                      for r in self.replicas],
+            "batch": per_replica,
+            "engine_totals": engine,
         }

@@ -402,6 +402,14 @@ class Simulator:
         self._step = self._step_legacy
         self.wake_all()
 
+    def engine_stats(self) -> Optional[Dict]:
+        """Batch-engine introspection counters (skips, vectorized
+        windows, probe hysteresis — see
+        :meth:`repro.sim.batch.engine.BatchEngine.stats`); None when
+        running under the legacy or fast engine, which keep no
+        counters."""
+        return self._batch.stats() if self._batch is not None else None
+
     @property
     def sleeping_objects(self) -> int:
         """Number of currently sleeping components (introspection)."""
@@ -493,9 +501,11 @@ class Simulator:
 
         Under the batch engine (and no *until* predicate — skipping
         intermediate cycles would change when the predicate is polled),
-        quiescent stretches are fast-forwarded in O(1) jumps; the state
-        reached at every cycle boundary the caller can observe is
-        bit-identical to stepping (see :mod:`repro.sim.batch`).
+        quiescent stretches are fast-forwarded in O(1) jumps and loaded
+        stretches of large meshes step as vectorized whole-network
+        windows; the state reached at every cycle boundary the caller
+        can observe is bit-identical to stepping (see
+        :mod:`repro.sim.batch` and :mod:`repro.sim.batch.stepper`).
         """
         executed = 0
         if until is None:
